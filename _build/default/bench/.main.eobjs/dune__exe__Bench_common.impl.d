@@ -1,0 +1,1 @@
+bench/bench_common.ml: Baselines Fission Gpu Ir Korch List Printf Runtime String

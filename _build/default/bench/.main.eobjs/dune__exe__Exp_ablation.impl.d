@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Bench_common Const Fission Ir Korch List Models Opgraph Optype Printf Runtime

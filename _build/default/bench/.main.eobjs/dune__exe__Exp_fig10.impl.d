@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Array Baselines Bench_common Fission Ir Korch Models Printf Runtime

@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Baselines Bench_common Korch Models Printf Runtime

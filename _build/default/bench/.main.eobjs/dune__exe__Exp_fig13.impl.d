@@ -1,0 +1,1 @@
+bench/exp_fig13.ml: Bench_common Bitset Fission Gpu Graph Ir Korch List Models Opgraph Primgraph Printf Runtime

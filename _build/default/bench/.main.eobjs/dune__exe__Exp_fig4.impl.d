@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Baselines Bench_common Graph Ir Korch List Models Primitive Printf Runtime

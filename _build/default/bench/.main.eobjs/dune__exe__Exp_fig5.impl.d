@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Bench_common Gpu List Printf

@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Array Baselines Bench_common Bitset Fission Gpu Graph Hashtbl Ir Korch List Models Primgraph Primitive Printf Runtime

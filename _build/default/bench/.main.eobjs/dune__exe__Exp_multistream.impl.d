@@ -1,0 +1,1 @@
+bench/exp_multistream.ml: Bench_common Korch List Models Printf Runtime

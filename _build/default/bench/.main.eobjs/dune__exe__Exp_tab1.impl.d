@@ -1,0 +1,1 @@
+bench/exp_tab1.ml: Bench_common Ir List Printf String

@@ -1,0 +1,1 @@
+bench/exp_tab2.ml: Bench_common Korch List Models Printf

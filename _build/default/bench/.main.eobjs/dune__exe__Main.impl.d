@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_fig10 Exp_fig12 Exp_fig13 Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_multistream Exp_tab1 Exp_tab2 List Microbench Printf String Sys

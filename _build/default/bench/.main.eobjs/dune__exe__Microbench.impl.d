@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Array Bechamel Bench_common Benchmark Fission Gpu Hashtbl Instance Korch Lazy List Lp Measure Models Printf Staged Test Time Toolkit Transform

@@ -1,0 +1,56 @@
+(* Shared helpers for the benchmark harness: configurations, table
+   printing, and the baseline/Korch runners every experiment uses. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+(* Platform configurations from §6.1: V100 in FP32, A100 with tensor cores
+   in TF32. *)
+let v100_fp32 = (Gpu.Spec.v100, Gpu.Precision.FP32)
+let a100_tf32 = (Gpu.Spec.a100, Gpu.Precision.TF32)
+
+let korch_config ?(partition_max_prims = 12) (spec, precision) =
+  { Korch.Orchestrator.default_config with
+    Korch.Orchestrator.spec; precision; partition_max_prims }
+
+(* Run Korch on an operator graph (BN folded first, as every deployment
+   stack does). *)
+let run_korch ?partition_max_prims platform (g : Ir.Opgraph.t) : Korch.Orchestrator.result =
+  let g = Fission.Canonicalize.fold_batch_norms g in
+  Korch.Orchestrator.run (korch_config ?partition_max_prims platform) g
+
+type baseline_row = {
+  eager_us : float;
+  tvm_us : float;
+  trt_us : float;
+  dp_us : float;
+}
+
+let run_baselines (spec, precision) (g : Ir.Opgraph.t) : baseline_row =
+  let g = Fission.Canonicalize.fold_batch_norms g in
+  let env = Baselines.Common.make_env ~spec ~precision g in
+  {
+    eager_us = (Baselines.Eager.run env).Runtime.Plan.total_latency_us;
+    tvm_us = (Baselines.Greedy_tvm.run env).Runtime.Plan.total_latency_us;
+    trt_us = (Baselines.Trt.run env).Runtime.Plan.total_latency_us;
+    dp_us = (Baselines.Dp_chain.run env).Runtime.Plan.total_latency_us;
+  }
+
+let speedup baseline korch = baseline /. korch
+
+(* Describe one plan kernel as "{prim prim ...}". *)
+let kernel_to_string (g : Ir.Primgraph.t) (k : Runtime.Plan.kernel) : string =
+  let names =
+    List.map (fun id -> Ir.Primitive.to_string (Ir.Graph.op g id)) k.Runtime.Plan.prims
+  in
+  Printf.sprintf "[%s] {%s} %.2fus" k.Runtime.Plan.backend (String.concat " " names)
+    k.Runtime.Plan.latency_us
+
+let print_plan (g : Ir.Primgraph.t) (plan : Runtime.Plan.t) =
+  List.iteri
+    (fun i k -> Printf.printf "    k%-2d %s\n" (i + 1) (kernel_to_string g k))
+    plan.Runtime.Plan.kernels

@@ -1,0 +1,26 @@
+(* Figure 12: the Conv -> InstanceNorm -> ReLU -> Pad -> Conv pattern from
+   Candy. TensorRT runs InstanceNorm, ReLU and Pad as separate kernels;
+   Korch decomposes InstanceNorm and fuses its elementwise tail into the
+   subsequent ReLU and Pad (paper: 1.32x on this subgraph). *)
+
+let run () =
+  Bench_common.section "Figure 12: Candy InstanceNorm pattern case study (V100)";
+  let spec, precision = Bench_common.v100_fp32 in
+  let g = Models.Candy.fig12_pattern ~batch:1 ~resolution:56 ~width:64 () in
+  let env = Baselines.Common.make_env ~spec ~precision g in
+  let trt_plan = Baselines.Trt.run env in
+  let eager_plan = Baselines.Eager.run env in
+  let r = Bench_common.run_korch ~partition_max_prims:24 Bench_common.v100_fp32 g in
+  let korch = r.Korch.Orchestrator.plan.Runtime.Plan.total_latency_us in
+  Printf.printf "%-22s %8s %9s\n" "strategy" "us" "kernels";
+  Printf.printf "%-22s %8.1f %9d\n" "eager (per operator)"
+    eager_plan.Runtime.Plan.total_latency_us
+    (Runtime.Plan.kernel_count eager_plan);
+  Printf.printf "%-22s %8.1f %9d\n" "TensorRT" trt_plan.Runtime.Plan.total_latency_us
+    (Runtime.Plan.kernel_count trt_plan);
+  Printf.printf "%-22s %8.1f %9d\n" "Korch" korch
+    (Runtime.Plan.kernel_count r.Korch.Orchestrator.plan);
+  Printf.printf "speedup over TensorRT: %.2fx (paper: 1.32x)\n"
+    (Bench_common.speedup trt_plan.Runtime.Plan.total_latency_us korch);
+  Printf.printf "\nKorch kernels (InstanceNorm decomposed and fused across operators):\n";
+  Bench_common.print_plan r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan

@@ -1,0 +1,45 @@
+(* Figures 2 & 4: kernel orchestration of a self-attention softmax
+   (Segformer scale). Shows the selected kernels — the headline behaviour
+   is softmax's four primitives being mapped into several different
+   kernels fused with their neighbours, instead of one monolithic softmax
+   kernel. *)
+
+open Ir
+
+let run () =
+  Bench_common.section "Figures 2/4: softmax self-attention orchestration (V100)";
+  let spec, precision = Bench_common.v100_fp32 in
+  let g = Models.Segformer.attention_subgraph ~batch:1 ~tokens:1024 ~channels:64 () in
+  let env = Baselines.Common.make_env ~spec ~precision g in
+  let eager = (Baselines.Eager.run env).Runtime.Plan.total_latency_us in
+  let trt = (Baselines.Trt.run env).Runtime.Plan.total_latency_us in
+  let r = Bench_common.run_korch Bench_common.v100_fp32 g in
+  let korch = r.Korch.Orchestrator.plan.Runtime.Plan.total_latency_us in
+  Printf.printf "%-28s %8s %9s %9s\n" "strategy" "us" "kernels" "speedup";
+  Printf.printf "%-28s %8.1f %9d %9s\n" "one kernel per operator" eager
+    (List.length (Baselines.Eager.grouping env.Baselines.Common.opgraph)) "1.00x";
+  Printf.printf "%-28s %8.1f %9d %8.2fx\n" "TensorRT patterns" trt
+    (List.length (Baselines.Trt.grouping env.Baselines.Common.opgraph))
+    (Bench_common.speedup eager trt);
+  Printf.printf "%-28s %8.1f %9d %8.2fx\n" "Korch" korch
+    (Runtime.Plan.kernel_count r.Korch.Orchestrator.plan)
+    (Bench_common.speedup eager korch);
+  Printf.printf "\nKorch kernels:\n";
+  Bench_common.print_plan r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan;
+  (* How many distinct kernels touch softmax-born primitives (exp, reduce,
+     broadcast, div)? *)
+  let softmax_like id =
+    match Graph.op r.Korch.Orchestrator.graph id with
+    | Primitive.Unary Primitive.Exp | Primitive.Reduce _ | Primitive.Broadcast _
+    | Primitive.Binary Primitive.Div ->
+      true
+    | _ -> false
+  in
+  let touching =
+    List.filter
+      (fun k -> List.exists softmax_like k.Runtime.Plan.prims)
+      r.Korch.Orchestrator.plan.Runtime.Plan.kernels
+  in
+  Printf.printf
+    "\nshape check: softmax primitives spread over %d kernels (paper maps softmax to all 4)\n"
+    (List.length touching)

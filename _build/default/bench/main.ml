@@ -1,0 +1,46 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 6) under the simulated-GPU substitution documented
+   in DESIGN.md. Run all experiments with `dune exec bench/main.exe`, or a
+   subset with `-- --only fig6,tab2`. *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [ ("tab1", "primitive taxonomy (Table 1)", Exp_tab1.run);
+    ("fig5", "GPU generation trends (Figure 5)", Exp_fig5.run);
+    ("fig6", "end-to-end performance (Figure 6)", Exp_fig6.run);
+    ("fig7", "fission adaptation study (Figure 7)", Exp_fig7.run);
+    ("fig4", "softmax attention orchestration (Figures 2/4)", Exp_fig4.run);
+    ("fig10", "EfficientViT case study (Figures 8-10)", Exp_fig10.run);
+    ("fig12", "Candy InstanceNorm case study (Figure 12)", Exp_fig12.run);
+    ("fig13", "greedy-fusion crossover (Figures 11/13)", Exp_fig13.run);
+    ("tab2", "tuning statistics (Table 2)", Exp_tab2.run);
+    ("ablation", "design-choice ablations", Exp_ablation.run);
+    ("multistream", "multi-stream headroom (extension)", Exp_multistream.run);
+    ("micro", "bechamel microbenchmarks", Microbench.run) ]
+
+let () =
+  let only = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--only" :: v :: rest ->
+      only := Some (String.split_on_char ',' v);
+      parse rest
+    | "--list" :: _ ->
+      List.iter (fun (id, d, _) -> Printf.printf "%-10s %s\n" id d) experiments;
+      exit 0
+    | x :: rest ->
+      Printf.eprintf "unknown argument %s (try --list / --only ids)\n" x;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    match !only with
+    | None -> experiments
+    | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) experiments
+  in
+  Printf.printf "Korch benchmark harness — %d experiment(s)\n" (List.length selected);
+  List.iter
+    (fun (_, _, run) ->
+      let t0 = Sys.time () in
+      run ();
+      Printf.printf "[%.1fs]\n" (Sys.time () -. t0))
+    selected

@@ -1,0 +1,96 @@
+(* Bechamel microbenchmarks of Korch's own machinery (the optimizer runs
+   offline, but its throughput determines tuning time): execution-state
+   enumeration, kernel identification, BLP solving, simplex, fission and
+   the transformation engine. One Test.make per component. *)
+
+open Bechamel
+open Toolkit
+
+let attention () = Models.Segformer.attention_subgraph ~batch:1 ~tokens:64 ~channels:16 ()
+
+let prepared_primgraph =
+  lazy
+    (let g = attention () in
+     let pg, _ = Fission.Engine.run g in
+     pg)
+
+let prepared_candidates =
+  lazy
+    (let pg = Lazy.force prepared_primgraph in
+     let cache = Gpu.Profile_cache.create () in
+     let cands, _ =
+       Korch.Kernel_identifier.identify Korch.Kernel_identifier.default_config
+         ~spec:Gpu.Spec.v100 ~precision:Gpu.Precision.FP32 ~cache pg
+     in
+     (pg, cands))
+
+let test_fission =
+  Test.make ~name:"fission(attention)"
+    (Staged.stage (fun () -> ignore (Fission.Engine.run (attention ()))))
+
+let test_exec_states =
+  Test.make ~name:"exec-state DFS"
+    (Staged.stage (fun () ->
+         ignore (Korch.Exec_state.enumerate (Lazy.force prepared_primgraph) ~max_states:100_000)))
+
+let test_identify =
+  Test.make ~name:"kernel identification"
+    (Staged.stage (fun () ->
+         let cache = Gpu.Profile_cache.create () in
+         ignore
+           (Korch.Kernel_identifier.identify Korch.Kernel_identifier.default_config
+              ~spec:Gpu.Spec.v100 ~precision:Gpu.Precision.FP32 ~cache
+              (Lazy.force prepared_primgraph))))
+
+let test_blp =
+  Test.make ~name:"BLP solve"
+    (Staged.stage (fun () ->
+         let pg, cands = Lazy.force prepared_candidates in
+         let p = Korch.Blp_formulation.build pg cands ~extra_cuts:[] in
+         ignore (Lp.Ilp.solve ~time_limit_s:5.0 ~rel_gap:0.002 ~abs_gap:2.0 ~lazy_dependencies:true p)))
+
+let test_simplex =
+  let p =
+    Lp.Simplex.
+      {
+        minimize = Array.init 40 (fun i -> 1.0 +. float_of_int (i mod 7));
+        rows =
+          List.init 30 (fun r ->
+              (Array.init 40 (fun j -> if (j + r) mod 5 = 0 then 1.0 else 0.0), Ge, 1.0));
+      }
+  in
+  Test.make ~name:"simplex (40 vars, 30 rows)"
+    (Staged.stage (fun () -> ignore (Lp.Simplex.solve p)))
+
+let test_transform =
+  Test.make ~name:"transformation search"
+    (Staged.stage (fun () ->
+         ignore (Transform.Optimizer.optimize (Lazy.force prepared_primgraph))))
+
+let all_tests =
+  Test.make_grouped ~name:"korch" ~fmt:"%s/%s"
+    [ test_fission; test_exec_states; test_identify; test_blp; test_simplex; test_transform ]
+
+let run () =
+  Bench_common.section "Microbenchmarks of the optimizer machinery (bechamel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  Printf.printf "%-32s %16s\n" "component" "time per run";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] ->
+        let str =
+          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        in
+        Printf.printf "%-32s %16s\n" name str
+      | _ -> Printf.printf "%-32s %16s\n" name "n/a")
+    results

@@ -1,0 +1,224 @@
+(* korch — command-line interface to the Korch tensor program optimizer.
+
+   Subcommands:
+     korch list                         available models and GPUs
+     korch optimize -m MODEL [...]      orchestrate a model, print the report
+     korch compare -m MODEL [...]       Korch vs all fusion baselines
+     korch export -m MODEL -o FILE      write the model as ONNX-JSON
+     korch run FILE                     optimize + execute an ONNX-JSON graph *)
+
+open Cmdliner
+
+let spec_conv =
+  let parse s =
+    match Gpu.Spec.by_name s with
+    | Some spec -> Ok spec
+    | None -> Error (`Msg (Printf.sprintf "unknown GPU %S (p100|v100|a100|h100)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf s.Gpu.Spec.name)
+
+let precision_conv =
+  let parse s =
+    match Gpu.Precision.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown precision %S (fp32|tf32|fp16)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Gpu.Precision.to_string p))
+
+let model_arg =
+  let doc = "Model from the zoo (see `korch list')." in
+  Arg.(required & opt (some string) None & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let gpu_arg =
+  let doc = "Target GPU model." in
+  Arg.(value & opt spec_conv Gpu.Spec.v100 & info [ "gpu" ] ~docv:"GPU" ~doc)
+
+let precision_arg =
+  let doc = "Numeric precision." in
+  Arg.(value & opt precision_conv Gpu.Precision.FP32 & info [ "precision" ] ~docv:"PREC" ~doc)
+
+let batch_arg =
+  let doc = "Batch size." in
+  Arg.(value & opt int 1 & info [ "b"; "batch" ] ~docv:"N" ~doc)
+
+let small_arg =
+  let doc = "Use the executable test-scale variant of the model." in
+  Arg.(value & flag & info [ "small" ] ~doc)
+
+let window_arg =
+  let doc = "Partition window size in primitives." in
+  Arg.(value & opt int 12 & info [ "window" ] ~docv:"N" ~doc)
+
+let verbose_arg =
+  let doc = "Print the full kernel plan." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let find_model name =
+  match Models.Registry.find name with
+  | Some e -> e
+  | None ->
+    Printf.eprintf "unknown model %S; available: %s\n" name
+      (String.concat ", " (List.map (fun e -> e.Models.Registry.name) Models.Registry.all));
+    exit 2
+
+let build_graph entry ~small ~batch =
+  let g =
+    if small then entry.Models.Registry.build_small ~batch ()
+    else entry.Models.Registry.build ~batch ()
+  in
+  Fission.Canonicalize.fold_batch_norms g
+
+let config ~spec ~precision ~window =
+  { Korch.Orchestrator.default_config with
+    Korch.Orchestrator.spec; precision; partition_max_prims = window }
+
+(* ------------------------- list ------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "models:\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-14s %s (paper input %dx%d)\n" e.Models.Registry.name
+          e.Models.Registry.description e.Models.Registry.paper_resolution
+          e.Models.Registry.paper_resolution)
+      Models.Registry.all;
+    Printf.printf "GPUs:\n";
+    List.iter
+      (fun (s : Gpu.Spec.t) ->
+        Printf.printf "  %-6s %5.1f FP32 TFLOPS, %6.0f GB/s\n" s.Gpu.Spec.name
+          s.Gpu.Spec.fp32_tflops s.Gpu.Spec.mem_bw_gb_s)
+      Gpu.Spec.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List models and GPU targets")
+    Term.(const run $ const ())
+
+(* ----------------------- optimize ----------------------- *)
+
+let optimize_action model gpu precision batch small window verbose dot streams =
+  let entry = find_model model in
+  let g = build_graph entry ~small ~batch in
+  let t0 = Sys.time () in
+  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window) g in
+  Printf.printf "%s on %s/%s (batch %d)\n" model gpu.Gpu.Spec.name
+    (Gpu.Precision.to_string precision) batch;
+  print_string (Korch.Report.summary r);
+  Printf.printf "  wall-clock opt  : %.1f s\n" (Sys.time () -. t0);
+  if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan;
+  (match dot with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Runtime.Dot_export.plan_to_dot r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan);
+    close_out oc;
+    Printf.printf "wrote kernel-cluster DOT to %s\n" path
+  | None -> ());
+  if streams > 1 then begin
+    let a =
+      Runtime.Multistream.analyze r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan ~streams
+    in
+    Printf.printf "projected onto %d streams: %.2f us (critical path %.2f us)\n" streams
+      a.Runtime.Multistream.makespan_us a.Runtime.Multistream.critical_path_us
+  end
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Discover the optimal kernel orchestration for a model")
+    Term.(
+      const optimize_action $ model_arg $ gpu_arg $ precision_arg $ batch_arg $ small_arg
+      $ window_arg $ verbose_arg
+      $ Arg.(value & opt (some string) None
+             & info [ "dot" ] ~docv:"FILE" ~doc:"Write the plan as a Graphviz DOT file.")
+      $ Arg.(value & opt int 1
+             & info [ "streams" ] ~docv:"N"
+                 ~doc:"Also project the plan onto N concurrent streams."))
+
+(* ----------------------- compare ----------------------- *)
+
+let compare_action model gpu precision batch small window =
+  let entry = find_model model in
+  let g = build_graph entry ~small ~batch in
+  let env = Baselines.Common.make_env ~spec:gpu ~precision g in
+  Printf.printf "%-12s %12s %9s\n" "strategy" "latency(us)" "kernels";
+  List.iter
+    (fun (name, run) ->
+      let plan = run env in
+      Printf.printf "%-12s %12.1f %9d\n" name plan.Runtime.Plan.total_latency_us
+        (Runtime.Plan.kernel_count plan))
+    [ ("eager", Baselines.Eager.run); ("greedy-tvm", Baselines.Greedy_tvm.run);
+      ("tensorrt", Baselines.Trt.run); ("dp-chain", Baselines.Dp_chain.run) ];
+  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window) g in
+  Printf.printf "%-12s %12.1f %9d   (%d redundant primitive executions)\n" "korch"
+    r.Korch.Orchestrator.plan.Runtime.Plan.total_latency_us
+    (Runtime.Plan.kernel_count r.Korch.Orchestrator.plan)
+    (Runtime.Plan.redundancy r.Korch.Orchestrator.plan)
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare Korch against the fusion baselines")
+    Term.(
+      const compare_action $ model_arg $ gpu_arg $ precision_arg $ batch_arg $ small_arg
+      $ window_arg)
+
+(* ------------------------ export ------------------------ *)
+
+let export_action model batch small output =
+  let entry = find_model model in
+  let g = build_graph entry ~small ~batch in
+  let doc = Onnx.Serialize.opgraph_to_string g in
+  let oc = open_out output in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes, %d nodes)\n" output (String.length doc) (Ir.Graph.length g)
+
+let export_cmd =
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path for the ONNX-JSON document.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a model as an ONNX-JSON document")
+    Term.(const export_action $ model_arg $ batch_arg $ small_arg $ output)
+
+(* -------------------------- run ------------------------- *)
+
+let run_action file gpu precision window verbose =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  let g = Onnx.Deserialize.opgraph_of_string doc in
+  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window) g in
+  print_string (Korch.Report.summary r);
+  if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan;
+  (* Execute the plan on random inputs as a functional check. *)
+  let inputs =
+    Array.to_list g.Ir.Graph.nodes
+    |> List.filter_map (fun nd ->
+           match nd.Ir.Graph.op with
+           | Ir.Optype.Input name ->
+             Some (name, Tensor.Nd.randn (Tensor.Rng.create 1) nd.Ir.Graph.shape)
+           | _ -> None)
+  in
+  let expected = Runtime.Interp.run g ~inputs in
+  let got = Runtime.Executor.run r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan ~inputs in
+  let diff =
+    List.fold_left2 (fun a e g -> Float.max a (Tensor.Nd.max_abs_diff e g)) 0.0 expected got
+  in
+  Printf.printf "executed plan; max |diff| vs reference interpreter: %g\n" diff
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"ONNX-JSON operator graph to optimize and execute.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimize and execute an ONNX-JSON graph")
+    Term.(const run_action $ file $ gpu_arg $ precision_arg $ window_arg $ verbose_arg)
+
+let () =
+  let info =
+    Cmd.info "korch" ~version:"1.0.0"
+      ~doc:"Optimal kernel orchestration for tensor programs (Korch, ASPLOS 2024)"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; optimize_cmd; compare_cmd; export_cmd; run_cmd ]))

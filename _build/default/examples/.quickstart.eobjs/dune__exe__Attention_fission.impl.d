@@ -1,0 +1,1 @@
+examples/attention_fission.ml: Fission Format Graph Ir Korch List Models Opgraph Primgraph Printf Runtime Tensor Transform

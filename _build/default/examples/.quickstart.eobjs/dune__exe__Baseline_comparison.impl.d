@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: Array Baselines Fission Float Gpu Graph Ir Korch List Models Optype Printf Runtime String Sys Tensor

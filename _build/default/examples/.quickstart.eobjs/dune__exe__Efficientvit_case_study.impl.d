@@ -1,0 +1,1 @@
+examples/efficientvit_case_study.ml: Baselines Gpu Hashtbl Ir Korch List Models Option Printf Runtime String Tensor

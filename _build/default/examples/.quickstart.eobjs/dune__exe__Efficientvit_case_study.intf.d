@@ -1,0 +1,1 @@
+examples/efficientvit_case_study.mli:

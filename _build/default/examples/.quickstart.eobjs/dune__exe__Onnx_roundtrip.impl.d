@@ -1,0 +1,1 @@
+examples/onnx_roundtrip.ml: Filename Fission Ir List Models Onnx Printf Runtime String Tensor

@@ -1,0 +1,1 @@
+examples/onnx_roundtrip.mli:

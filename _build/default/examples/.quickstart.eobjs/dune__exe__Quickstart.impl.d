@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Const Format Gpu Ir Korch Opgraph Optype Printf Runtime Tensor

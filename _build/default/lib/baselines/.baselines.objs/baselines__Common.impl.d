@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Array Bitset Fission Gpu Graph Ir List Opgraph Optype Primgraph Primitive Runtime

@@ -1,0 +1,1 @@
+lib/baselines/common.mli: Bitset Gpu Ir Opgraph Optype Primgraph Runtime

@@ -1,0 +1,1 @@
+lib/baselines/dp_chain.ml: Array Common Float Graph Hashtbl Ir List Opgraph Runtime

@@ -1,0 +1,1 @@
+lib/baselines/eager.ml: Common Ir List Opgraph Runtime

@@ -1,0 +1,1 @@
+lib/baselines/greedy_tvm.ml: Array Common Graph Hashtbl Ir List Opgraph Runtime

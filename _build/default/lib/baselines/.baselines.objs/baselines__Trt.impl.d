@@ -1,0 +1,1 @@
+lib/baselines/trt.ml: Array Common Graph Hashtbl Ir List Opgraph Optype Runtime

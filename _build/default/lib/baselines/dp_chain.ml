@@ -1,0 +1,77 @@
+(** Dynamic-programming fusion baseline (PolyMage-DP style, §7).
+
+    The operator graph is decomposed into maximal single-consumer chains;
+    within each chain an exact DP chooses kernel boundaries minimizing the
+    summed kernel cost. Optimal over contiguous groupings of each chain —
+    but, unlike Korch, it cannot fuse across branches, cannot decompose
+    operators, and cannot execute anything redundantly. *)
+
+open Ir
+
+(* Maximal chains: follow single-consumer/single-producer links. *)
+let chains (g : Opgraph.t) : int list list =
+  let succs = Graph.succs g in
+  let order = Common.non_source_topo g in
+  let non_source p = Common.classify (Graph.op g p) <> Common.Source in
+  let single_pred id =
+    match List.filter non_source (Graph.preds g id) with [ p ] -> Some p | _ -> None
+  in
+  let continues p id =
+    (* p -> id is a chain link: p feeds only id, id's only (non-source)
+       predecessor is p, and p is not a graph output. *)
+    succs.(p) = [ id ] && single_pred id = Some p && not (List.mem p g.Graph.outputs)
+  in
+  let taken = Hashtbl.create 64 in
+  List.filter_map
+    (fun id ->
+      if Hashtbl.mem taken id then None
+      else begin
+        (* id is a chain head iff no predecessor continues into it. *)
+        let is_head =
+          match single_pred id with Some p -> not (continues p id) | None -> true
+        in
+        if not is_head then None
+        else begin
+          let rec extend acc cur =
+            Hashtbl.replace taken cur ();
+            match succs.(cur) with
+            | [ nxt ] when non_source nxt && continues cur nxt -> extend (nxt :: acc) nxt
+            | _ -> List.rev acc
+          in
+          Some (extend [ id ] id)
+        end
+      end)
+    order
+
+(* Exact DP over one chain: best.(i) = min cost of executing ops
+   [0 .. i-1]; transition tries every kernel [j .. i-1]. *)
+let dp_chain (env : Common.env) (chain : int array) : int list list =
+  let n = Array.length chain in
+  let best = Array.make (n + 1) Float.infinity in
+  let choice = Array.make (n + 1) 0 in
+  best.(0) <- 0.0;
+  for i = 1 to n do
+    for j = 0 to i - 1 do
+      let ops = Array.to_list (Array.sub chain j (i - j)) in
+      let k = Common.cost_group env ops in
+      let c = best.(j) +. k.Runtime.Plan.latency_us in
+      if c < best.(i) then begin
+        best.(i) <- c;
+        choice.(i) <- j
+      end
+    done
+  done;
+  let rec cuts i acc = if i = 0 then acc else cuts choice.(i) (choice.(i) :: acc) in
+  let boundaries = cuts n [] @ [ n ] in
+  let rec segments = function
+    | a :: (b :: _ as rest) -> Array.to_list (Array.sub chain a (b - a)) :: segments rest
+    | _ -> []
+  in
+  segments boundaries
+
+let grouping (env : Common.env) : Common.grouping =
+  List.concat_map
+    (fun chain -> dp_chain env (Array.of_list chain))
+    (chains env.Common.opgraph)
+
+let run (env : Common.env) : Runtime.Plan.t = Common.plan_of_grouping env (grouping env)

@@ -1,0 +1,14 @@
+(** Eager baseline ("PyTorch"): one kernel per operator, no fusion.
+
+    Every operator dispatches its own (often handwritten) kernel; composite
+    operators such as Softmax or InstanceNorm run monolithically and pay
+    the full category-mixing cost plus one launch each. *)
+
+open Ir
+
+let grouping (g : Opgraph.t) : Common.grouping =
+  List.map (fun id -> [ id ]) (Common.non_source_topo g)
+
+(** [run env] — plan and latency of eager execution. *)
+let run (env : Common.env) : Runtime.Plan.t =
+  Common.plan_of_grouping env (grouping env.Common.opgraph)

@@ -1,0 +1,94 @@
+(** TVM-style greedy operator fusion.
+
+    Forward pass over the operator graph; an operator joins its
+    predecessor's group when the predecessor is its only in-group feeder,
+    has no other consumers, and the combination respects TVM's fuse rules:
+    - injective operators chain without limit;
+    - a compute-intensive operator starts a group and absorbs a following
+      injective chain (conv + bias + activation ...);
+    - a reduction absorbs a *preceding* injective chain and closes the
+      group (injective -> reduce), and may absorb a short injective tail
+      (softmax's trailing elementwise) before closing;
+    - opaque operators are singletons.
+
+    Greedy and rule-based — exactly the behaviour whose suboptimality
+    Figure 13 demonstrates. *)
+
+open Ir
+
+type group_state = { members : int list; has_compute : bool; has_reduce : bool }
+
+let grouping (g : Opgraph.t) : Common.grouping =
+  let succs = Graph.succs g in
+  let group_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let groups : (int, group_state) Hashtbl.t = Hashtbl.create 64 in
+  let next_gid = ref 0 in
+  let new_group id st =
+    let gid = !next_gid in
+    incr next_gid;
+    Hashtbl.replace groups gid st;
+    Hashtbl.replace group_of id gid;
+    gid
+  in
+  let order = Common.non_source_topo g in
+  List.iter
+    (fun id ->
+      let cls = Common.classify (Graph.op g id) in
+      (* Candidate predecessor group: the unique non-source predecessor,
+         if this op is its only consumer. *)
+      let preds =
+        List.filter (fun p -> Common.classify (Graph.op g p) <> Common.Source) (Graph.preds g id)
+      in
+      let attach =
+        match preds with
+        | [ p ] when succs.(p) = [ id ] && not (List.mem p g.Graph.outputs) -> begin
+          match Hashtbl.find_opt group_of p with
+          | Some gid ->
+            let st = Hashtbl.find groups gid in
+            let ok =
+              match cls with
+              | Common.Injective ->
+                (* join unless the group already closed with a reduce that
+                   has used its tail budget *)
+                not st.has_reduce
+                || List.length st.members < 12
+              | Common.Reduction -> (not st.has_reduce) && not st.has_compute
+              | Common.ComputeIntensive | Opaque | Source -> false
+            in
+            if ok then Some (gid, st) else None
+          | None -> None
+        end
+        | _ -> None
+      in
+      match attach with
+      | Some (gid, st) ->
+        Hashtbl.replace groups gid
+          {
+            members = id :: st.members;
+            has_compute = st.has_compute || cls = Common.ComputeIntensive;
+            has_reduce = st.has_reduce || cls = Common.Reduction;
+          };
+        Hashtbl.replace group_of id gid
+      | None ->
+        ignore
+          (new_group id
+             {
+               members = [ id ];
+               has_compute = cls = Common.ComputeIntensive;
+               has_reduce = cls = Common.Reduction;
+             }))
+    order;
+  (* Emit groups in topological order of their first member. *)
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun id ->
+      let gid = Hashtbl.find group_of id in
+      if Hashtbl.mem seen gid then None
+      else begin
+        Hashtbl.replace seen gid ();
+        Some (List.rev (Hashtbl.find groups gid).members)
+      end)
+    order
+
+let run (env : Common.env) : Runtime.Plan.t =
+  Common.plan_of_grouping env (grouping env.Common.opgraph)

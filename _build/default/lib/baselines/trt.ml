@@ -1,0 +1,63 @@
+(** TensorRT-style pattern fusion.
+
+    Conservative, high-quality pattern rules:
+    - Conv + (bias Add) + activation fuse into one kernel;
+    - chains of pure elementwise operators fuse (pointwise fusion);
+    - MatMul stays alone (MatrixMultiply backend);
+    - normalization / softmax / pooling run as dedicated library kernels.
+
+    No operator fission, no redundant computation — the behaviour the
+    adaptation study (Figure 7) and case studies compare against. *)
+
+open Ir
+
+let is_activation : Optype.t -> bool = function
+  | Optype.Relu | LeakyRelu _ | Sigmoid | Silu | Mish | Tanh | Gelu -> true
+  | _ -> false
+
+let is_pointwise : Optype.t -> bool = function
+  | Optype.Relu | LeakyRelu _ | Sigmoid | Silu | Mish | Tanh | Gelu | Erf | Exp | Log | Sqrt
+  | Neg | Square | Add | Sub | Mul | Div | Pow ->
+    true
+  | _ -> false
+
+let grouping (g : Opgraph.t) : Common.grouping =
+  let succs = Graph.succs g in
+  let consumed = Hashtbl.create 64 in
+  let order = Common.non_source_topo g in
+  let sole_consumer p = match succs.(p) with [ _ ] -> not (List.mem p g.Graph.outputs) | _ -> false in
+  let groups = ref [] in
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem consumed id) then begin
+        let op = Graph.op g id in
+        let group =
+          match op with
+          | Optype.Conv _ -> begin
+            (* conv [+ activation] (bias is already part of Conv) *)
+            match succs.(id) with
+            | [ a ] when sole_consumer id && is_activation (Graph.op g a) -> [ id; a ]
+            | _ -> [ id ]
+          end
+          | _ when is_pointwise op ->
+            (* maximal single-consumer pointwise chain *)
+            let rec chain acc cur =
+              match succs.(cur) with
+              | [ nxt ]
+                when sole_consumer cur
+                     && is_pointwise (Graph.op g nxt)
+                     && not (Hashtbl.mem consumed nxt) ->
+                chain (nxt :: acc) nxt
+              | _ -> List.rev acc
+            in
+            chain [ id ] id
+          | _ -> [ id ]
+        in
+        List.iter (fun m -> Hashtbl.replace consumed m ()) group;
+        groups := group :: !groups
+      end)
+    order;
+  List.rev !groups
+
+let run (env : Common.env) : Runtime.Plan.t =
+  Common.plan_of_grouping env (grouping env.Common.opgraph)

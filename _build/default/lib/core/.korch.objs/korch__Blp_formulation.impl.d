@@ -1,0 +1,1 @@
+lib/core/blp_formulation.ml: Array Bitset Candidate Graph Ir List Lp Primgraph Primitive

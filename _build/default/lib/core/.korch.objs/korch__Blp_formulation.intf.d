@@ -1,0 +1,1 @@
+lib/core/blp_formulation.mli: Candidate Ir Lp Primgraph

@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Bitset Format Gpu Ir List String

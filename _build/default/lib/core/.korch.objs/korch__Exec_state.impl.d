@@ -1,0 +1,1 @@
+lib/core/exec_state.ml: Array Bitset Graph Ir List Primgraph Primitive

@@ -1,0 +1,1 @@
+lib/core/exec_state.mli: Bitset Ir Primgraph

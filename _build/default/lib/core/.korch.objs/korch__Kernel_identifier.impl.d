@@ -1,0 +1,1 @@
+lib/core/kernel_identifier.ml: Array Bitset Candidate Exec_state Gpu Graph Hashtbl Ir List Primgraph

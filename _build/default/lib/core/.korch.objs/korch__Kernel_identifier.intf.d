@@ -1,0 +1,1 @@
+lib/core/kernel_identifier.mli: Candidate Gpu Ir Primgraph

@@ -1,0 +1,1 @@
+lib/core/orchestrator.ml: Array Bitset Blp_formulation Candidate Fission Fun Gpu Graph Hashtbl Ir Kernel_identifier List Lp Opgraph Partition Primgraph Primitive Printf Runtime Scheduler Transform

@@ -1,0 +1,1 @@
+lib/core/orchestrator.mli: Candidate Gpu Ir Kernel_identifier Opgraph Partition Primgraph Runtime

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Graph Hashtbl Ir List Primgraph Primitive Printf String

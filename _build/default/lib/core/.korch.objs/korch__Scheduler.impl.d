@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Candidate Graph Hashtbl Ir List Primgraph Primitive

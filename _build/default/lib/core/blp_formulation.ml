@@ -1,0 +1,79 @@
+(** The binary-linear-programming formulation of kernel orchestration
+    (§4.2, Equations 2–4).
+
+    One binary variable per candidate. The objective is the sum of selected
+    kernels' latencies (Eq. 2). Output constraints (Eq. 3) force every
+    graph output primitive to be published; dependency constraints (Eq. 4)
+    force every external input of a selected kernel to be published by
+    some selected kernel. Source nodes (graph inputs and constants) are
+    always available and generate no constraints.
+
+    [extra_cuts] carries no-good cuts added by the orchestrator when a BLP
+    solution admits no deadlock-free schedule (mutually-dependent kernel
+    pairs are expressible in Eq. 4 but not executable; see
+    {!Scheduler}). *)
+
+open Ir
+
+(** [build ?disjoint g candidates ~extra_cuts] — the BLP instance. With
+    [disjoint] (ablation of §4.2's redundancy relaxation) every primitive
+    may be *executed* at most once: selected kernels must not overlap, the
+    restriction all prior tensor program optimizers operate under. *)
+let build ?(disjoint = false) (g : Primgraph.t) (candidates : Candidate.t array)
+    ~(extra_cuts : int list list) : Lp.Ilp.problem =
+  let m = Array.length candidates in
+  let minimize = Array.map (fun (c : Candidate.t) -> c.Candidate.latency_us) candidates in
+  (* publishers.(j) = candidate indices publishing primitive j. *)
+  let publishers = Array.make (Graph.length g) [] in
+  Array.iteri
+    (fun i (c : Candidate.t) ->
+      List.iter (fun j -> publishers.(j) <- i :: publishers.(j)) c.Candidate.outputs)
+    candidates;
+  let rows = ref [] in
+  (* Eq. 3: output covering. *)
+  List.iter
+    (fun j ->
+      if not (Primitive.is_source (Graph.op g j)) then begin
+        let row = Array.make m 0.0 in
+        List.iter (fun i -> row.(i) <- 1.0) publishers.(j);
+        rows := (row, Lp.Simplex.Ge, 1.0) :: !rows
+      end)
+    g.Graph.outputs;
+  (* Eq. 4: dependencies. One row per (kernel, non-source external input). *)
+  Array.iteri
+    (fun k (c : Candidate.t) ->
+      List.iter
+        (fun j ->
+          if not (Primitive.is_source (Graph.op g j)) then begin
+            let row = Array.make m 0.0 in
+            List.iter (fun i -> row.(i) <- 1.0) publishers.(j);
+            row.(k) <- row.(k) -. 1.0;
+            rows := (row, Lp.Simplex.Ge, 0.0) :: !rows
+          end)
+        c.Candidate.ext_inputs)
+    candidates;
+  (* Disjointness ablation: each primitive executed at most once. *)
+  if disjoint then begin
+    let executors = Array.make (Graph.length g) [] in
+    Array.iteri
+      (fun i (c : Candidate.t) ->
+        Bitset.iter (fun j -> executors.(j) <- i :: executors.(j)) c.Candidate.members)
+      candidates;
+    Array.iteri
+      (fun _j execs ->
+        match execs with
+        | [] | [ _ ] -> ()
+        | execs ->
+          let row = Array.make m 0.0 in
+          List.iter (fun i -> row.(i) <- 1.0) execs;
+          rows := (row, Lp.Simplex.Le, 1.0) :: !rows)
+      executors
+  end;
+  (* No-good cuts: sum_{k in S} u_k <= |S| - 1. *)
+  List.iter
+    (fun cut ->
+      let row = Array.make m 0.0 in
+      List.iter (fun k -> row.(k) <- 1.0) cut;
+      rows := (row, Lp.Simplex.Le, float_of_int (List.length cut - 1)) :: !rows)
+    extra_cuts;
+  { Lp.Ilp.minimize; rows = List.rev !rows }

@@ -1,0 +1,28 @@
+(** The binary-linear-programming formulation of kernel orchestration
+    (§4.2, Equations 2–4).
+
+    One binary variable per candidate kernel; the objective is the sum of
+    selected kernels' latencies (Eq. 2). Output-covering rows (Eq. 3)
+    force every graph output to be published; dependency rows (Eq. 4)
+    force every external input of a selected kernel to be published by
+    some selected kernel. Source nodes (graph inputs, constants) are
+    always available and generate no constraints. *)
+
+open Ir
+
+(** [build ?disjoint g candidates ~extra_cuts] — the BLP instance.
+
+    With [disjoint] every primitive may be {e executed} at most once —
+    selected kernels must not overlap. This is the restriction all prior
+    tensor program optimizers operate under and exists for the ablation of
+    §4.2's redundancy relaxation.
+
+    [extra_cuts] are no-good cuts ([Σ_{k∈S} u_k ≤ |S|−1]) added by the
+    orchestrator when a BLP optimum admits no deadlock-free schedule (see
+    {!Scheduler} and DESIGN.md, Engineering notes). *)
+val build :
+  ?disjoint:bool ->
+  Primgraph.t ->
+  Candidate.t array ->
+  extra_cuts:int list list ->
+  Lp.Ilp.problem

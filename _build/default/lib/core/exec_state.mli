@@ -1,0 +1,24 @@
+(** Execution-state enumeration (Definition 2 / first half of Algorithm 1).
+
+    An execution state is a downward-closed set of primitives — "what has
+    been computed so far". All convex subgraphs of the primitive graph,
+    i.e. all candidate kernels, arise as pairwise differences of execution
+    states (Theorem 1). *)
+
+open Ir
+
+(** Raised when the state count exceeds the caller's bound. The count
+    grows linearly with graph depth but exponentially with width (§4);
+    callers partition wide graphs first. *)
+exception Too_many_states of int
+
+(** [enumerate g ~max_states] — every execution state of [g], each
+    including all source nodes (inputs/constants are always "computed").
+
+    Raises {!Too_many_states} when the bound is exceeded. *)
+val enumerate : Primgraph.t -> max_states:int -> Bitset.t list
+
+(** [is_difference_of_states states s] — test oracle for Theorem 1: does
+    [s] equal [d2 \ d1] for some pair of states with [d1 ⊆ d2]? Quadratic;
+    meant for the property-based tests. *)
+val is_difference_of_states : Bitset.t list -> Bitset.t -> bool

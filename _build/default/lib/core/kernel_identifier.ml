@@ -1,0 +1,154 @@
+(** The kernel identifier (Algorithm 1).
+
+    Enumerates all execution states, takes pairwise differences to obtain
+    every convex subgraph (Theorem 1), enumerates possible output sets
+    (Definition 3), and profiles each candidate. Candidates the profiler
+    rejects — too many primitives, multiple linear primitives, opaque
+    companions — are discarded, mirroring §6.5's observation that simple
+    heuristics reject most of the quadratic candidate space. *)
+
+open Ir
+
+type config = {
+  max_states : int;
+  max_kernel_prims : int;  (** subgraphs larger than this are skipped pre-profiling *)
+  max_boundary_enum : int;
+      (** enumerate all output subsets when the boundary is at most this
+          large; otherwise only the full boundary set is used *)
+  prefilter : bool;
+      (** drop candidates dominated by their members' singleton kernels
+          (the paper's future-work "lightweight cost model" filter, §8) *)
+  profiler : Gpu.Profiler.config;
+}
+
+let default_config =
+  {
+    max_states = 200_000;
+    max_kernel_prims = 10;
+    max_boundary_enum = 2;
+    prefilter = true;
+    profiler = Gpu.Profiler.default_config;
+  }
+
+type stats = {
+  states : int;
+  distinct_subgraphs : int;
+  profiled : int;  (** candidate (subgraph, output-set) pairs profiled *)
+  accepted : int;
+  rejected : int;
+  prefiltered : int;
+}
+
+let nonempty_subsets (l : int list) : int list list =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let subs = go rest in
+      subs @ List.map (fun s -> x :: s) subs
+  in
+  List.filter (fun s -> s <> []) (go l)
+
+(** [identify cfg ~spec ~precision ~cache g] — all accepted candidate
+    kernels of [g], plus enumeration statistics. *)
+let identify (cfg : config) ~(spec : Gpu.Spec.t) ~(precision : Gpu.Precision.t)
+    ~(cache : Gpu.Profile_cache.t) (g : Primgraph.t) : Candidate.t array * stats =
+  let states = Exec_state.enumerate g ~max_states:cfg.max_states in
+  let n_states = List.length states in
+  (* Distinct convex subgraphs from pairwise differences. *)
+  let subgraphs = Bitset.Table.create 256 in
+  List.iter
+    (fun d1 ->
+      List.iter
+        (fun d2 ->
+          if (not (Bitset.equal d1 d2)) && Bitset.subset d1 d2 then begin
+            let p' = Bitset.diff d2 d1 in
+            let size = Bitset.cardinal p' in
+            if size > 0 && size <= cfg.max_kernel_prims then
+              if not (Bitset.Table.mem subgraphs p') then
+                Bitset.Table.replace subgraphs p' ()
+          end)
+        states)
+    states;
+  let profiled = ref 0 and accepted = ref [] and rejected = ref 0 in
+  Bitset.Table.iter
+    (fun members () ->
+      let boundary = Graph.boundary_outputs g members in
+      let output_sets =
+        if List.length boundary <= cfg.max_boundary_enum then begin
+          (* Graph outputs inside the kernel must always be publishable by
+             someone, but a candidate may legally publish any non-empty
+             boundary subset (Definition 3). *)
+          nonempty_subsets boundary
+        end
+        else [ boundary ]
+      in
+      List.iter
+        (fun outputs ->
+          incr profiled;
+          match
+            Gpu.Profile_cache.profile cache cfg.profiler ~spec ~precision g members ~outputs
+          with
+          | Some r ->
+            let c =
+              Candidate.
+                {
+                  members;
+                  outputs;
+                  ext_inputs = Graph.external_inputs g members;
+                  latency_us = r.Gpu.Profiler.latency_us;
+                  backend = r.Gpu.Profiler.backend;
+                }
+            in
+            accepted := c :: !accepted
+          | None -> incr rejected)
+        output_sets)
+    subgraphs;
+  let candidates = Array.of_list (List.rev !accepted) in
+  (* Dominated-candidate prefilter: a multi-primitive candidate can never
+     be selected by an optimal solution if executing each member as its own
+     full-boundary singleton kernel is cheaper — the singletons publish a
+     superset of its outputs. *)
+  let candidates, prefiltered =
+    if not cfg.prefilter then (candidates, 0)
+    else begin
+      let singleton_cost = Hashtbl.create 64 in
+      Array.iter
+        (fun (c : Candidate.t) ->
+          if Bitset.cardinal c.Candidate.members = 1 then
+            let id = List.hd (Bitset.elements c.Candidate.members) in
+            let prev = Hashtbl.find_opt singleton_cost id in
+            (* Only singletons that publish their node count. *)
+            if c.Candidate.outputs = [ id ] then
+              match prev with
+              | Some p when p <= c.Candidate.latency_us -> ()
+              | _ -> Hashtbl.replace singleton_cost id c.Candidate.latency_us)
+        candidates;
+      let kept =
+        Array.to_list candidates
+        |> List.filter (fun (c : Candidate.t) ->
+               if Bitset.cardinal c.Candidate.members <= 1 then true
+               else
+                 let cover =
+                   Bitset.fold
+                     (fun id acc ->
+                       match (acc, Hashtbl.find_opt singleton_cost id) with
+                       | Some s, Some v -> Some (s +. v)
+                       | _ -> None)
+                     c.Candidate.members (Some 0.0)
+                 in
+                 match cover with
+                 | Some total -> c.Candidate.latency_us < total
+                 | None -> true)
+      in
+      (Array.of_list kept, Array.length candidates - List.length kept)
+    end
+  in
+  ( candidates,
+    {
+      states = n_states;
+      distinct_subgraphs = Bitset.Table.length subgraphs;
+      profiled = !profiled;
+      accepted = Array.length candidates + prefiltered;
+      rejected = !rejected;
+      prefiltered;
+    } )

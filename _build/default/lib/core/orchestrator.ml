@@ -1,0 +1,232 @@
+(** End-to-end Korch pipeline (Figure 1):
+
+    computation graph -> operator fission -> partition -> per-segment
+    {primitive-graph transformations -> kernel identification -> kernel
+    profiling -> BLP -> schedule} -> stitched executable plan.
+
+    If a BLP solution cannot be scheduled (mutually dependent kernels,
+    which Eq. 4 does not exclude), a no-good cut is added and the BLP is
+    re-solved — a small cutting-plane loop around the solver. *)
+
+open Ir
+
+type config = {
+  spec : Gpu.Spec.t;
+  precision : Gpu.Precision.t;
+  identifier : Kernel_identifier.config;
+  partition_max_prims : int;
+  use_transform : bool;
+  transform_budget : int;
+  ilp_time_limit_s : float;
+  ilp_rel_gap : float;
+      (** relative optimality tolerance passed to the BLP solver; 0 proves
+          optimality, small values (e.g. 0.002) cut solve time sharply *)
+  ilp_abs_gap_launches : float;
+      (** absolute tolerance in units of kernel-launch overheads: two
+          strategies within a fraction of one launch are equivalent in
+          practice, so proving which is better is wasted solver time *)
+  allow_redundancy : bool;
+      (** §4.2's relaxation: primitives may execute in several kernels.
+          Disable for the ablation (prior-work-style disjoint partitions) *)
+}
+
+let default_config =
+  {
+    spec = Gpu.Spec.v100;
+    precision = Gpu.Precision.FP32;
+    identifier = Kernel_identifier.default_config;
+    partition_max_prims = 12;
+    use_transform = true;
+    transform_budget = 40;
+    ilp_time_limit_s = 5.0;
+    ilp_rel_gap = 0.002;
+    ilp_abs_gap_launches = 0.4;
+    allow_redundancy = true;
+  }
+
+type segment_result = {
+  seg : Partition.segment;
+  transformed : Primgraph.t;
+  candidates : Candidate.t array;
+  id_stats : Kernel_identifier.stats;
+  selected : int list;  (** scheduled order of candidate indices *)
+  latency_us : float;
+  cuts_added : int;
+}
+
+type result = {
+  graph : Primgraph.t;  (** stitched post-transformation primitive graph *)
+  plan : Runtime.Plan.t;  (** kernels reference [graph] node ids *)
+  segments : segment_result list;
+  total_candidates : int;
+  total_states : int;
+  prim_nodes : int;  (** executable primitives after fission+transform *)
+  tuning_time_s : float;  (** simulated profiling cost (Table 2) *)
+}
+
+exception Orchestration_failed of string
+
+(* Solve one segment: BLP + schedule with no-good cut loop. *)
+let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) (seg : Partition.segment) :
+    segment_result =
+  let transformed =
+    if cfg.use_transform then
+      Transform.Optimizer.optimize
+        ~config:
+          {
+            Transform.Optimizer.spec = cfg.spec;
+            precision = cfg.precision;
+            alpha = 1.08;
+            budget = cfg.transform_budget;
+            profiler = cfg.identifier.Kernel_identifier.profiler;
+          }
+        seg.Partition.local
+    else Transform.Cse.run seg.Partition.local
+  in
+  let candidates, id_stats =
+    Kernel_identifier.identify cfg.identifier ~spec:cfg.spec ~precision:cfg.precision ~cache
+      transformed
+  in
+  if Array.length candidates = 0 && Primgraph.non_source_nodes transformed <> [] then
+    raise (Orchestration_failed "no candidate kernels for segment");
+  (* Warm start: the all-singletons strategy (one kernel per primitive,
+     every output published) is always feasible and gives the solver a
+     strong initial incumbent. *)
+  let warm_start =
+    let x = Array.make (Array.length candidates) 0 in
+    Array.iteri
+      (fun i (c : Candidate.t) ->
+        match Bitset.elements c.Candidate.members with
+        | [ id ] when c.Candidate.outputs = [ id ] -> x.(i) <- 1
+        | _ -> ())
+      candidates;
+    x
+  in
+  let rec solve_with_cuts cuts attempts =
+    if attempts > 20 then raise (Orchestration_failed "cut loop did not converge");
+    let problem =
+      Blp_formulation.build ~disjoint:(not cfg.allow_redundancy) transformed candidates
+        ~extra_cuts:cuts
+    in
+    match
+      Lp.Ilp.solve ~time_limit_s:cfg.ilp_time_limit_s ~rel_gap:cfg.ilp_rel_gap
+        ~abs_gap:(cfg.ilp_abs_gap_launches *. cfg.spec.Gpu.Spec.launch_overhead_us)
+        ~lazy_dependencies:true ~warm_start problem
+    with
+    | None -> raise (Orchestration_failed "BLP solver timed out without incumbent")
+    | Some sol when sol.Lp.Ilp.status = Lp.Ilp.Infeasible ->
+      raise (Orchestration_failed "BLP infeasible")
+    | Some sol ->
+      let selected =
+        List.filter (fun i -> sol.Lp.Ilp.x.(i) = 1) (List.init (Array.length candidates) Fun.id)
+      in
+      (match Scheduler.schedule transformed candidates ~selected with
+      | Ok order -> (order, sol.Lp.Ilp.objective, List.length cuts)
+      | Error stuck -> solve_with_cuts (stuck :: cuts) (attempts + 1))
+  in
+  let selected, latency_us, cuts_added = solve_with_cuts [] 0 in
+  { seg; transformed; candidates; id_stats; selected; latency_us; cuts_added }
+
+(* Stitch per-segment transformed graphs back into one executable graph,
+   translating each segment's plan kernels to stitched node ids. *)
+let stitch (original : Primgraph.t) (results : segment_result list) :
+    Primgraph.t * Runtime.Plan.kernel list =
+  let b = Primgraph.B.create () in
+  let interface = Hashtbl.create 64 in
+  (* original global producer id -> stitched id *)
+  let input_by_name = Hashtbl.create 16 in
+  let kernels = ref [] in
+  List.iter
+    (fun r ->
+      let local = r.transformed in
+      let map = Array.make (Graph.length local) (-1) in
+      List.iter
+        (fun lid ->
+          let nd = Graph.node local lid in
+          let sid =
+            match nd.Graph.op with
+            | Primitive.Input name -> begin
+              match Partition.parse_placeholder name with
+              | Some gid -> begin
+                match Hashtbl.find_opt interface gid with
+                | Some sid -> sid
+                | None ->
+                  raise
+                    (Orchestration_failed
+                       (Printf.sprintf "stitch: interface tensor %d not yet produced" gid))
+              end
+              | None -> begin
+                match Hashtbl.find_opt input_by_name name with
+                | Some sid -> sid
+                | None ->
+                  let sid = Primgraph.B.input b name nd.Graph.shape in
+                  Hashtbl.replace input_by_name name sid;
+                  sid
+              end
+            end
+            | op ->
+              Primgraph.B.add_raw b op
+                (List.map (fun i -> map.(i)) nd.Graph.inputs)
+                nd.Graph.shape
+          in
+          map.(lid) <- sid)
+        (Graph.topo_order local);
+      (* Publish interface tensors. *)
+      List.iter2
+        (fun lout gid -> Hashtbl.replace interface gid map.(lout))
+        local.Graph.outputs r.seg.Partition.out_global;
+      (* Translate this segment's kernels. *)
+      List.iter
+        (fun k ->
+          let c = r.candidates.(k) in
+          kernels :=
+            Runtime.Plan.
+              {
+                prims = List.map (fun i -> map.(i)) (Bitset.elements c.Candidate.members);
+                outputs = List.map (fun i -> map.(i)) c.Candidate.outputs;
+                latency_us = c.Candidate.latency_us;
+                backend = Gpu.Cost_model.backend_to_string c.Candidate.backend;
+              }
+            :: !kernels)
+        r.selected)
+    results;
+  (* Stitched graph outputs mirror the original ones. *)
+  let outputs =
+    List.map
+      (fun o ->
+        match Hashtbl.find_opt interface o with
+        | Some sid -> sid
+        | None ->
+          raise
+            (Orchestration_failed (Printf.sprintf "stitch: graph output %d not produced" o)))
+      original.Graph.outputs
+  in
+  Primgraph.B.set_outputs b outputs;
+  (Primgraph.B.finish b, List.rev !kernels)
+
+(** [run_primgraph cfg g] — orchestrate a primitive graph. *)
+let run_primgraph (cfg : config) (g : Primgraph.t) : result =
+  let cache = Gpu.Profile_cache.create () in
+  let segments = Partition.split g ~max_prims:cfg.partition_max_prims in
+  let results = List.map (solve_segment cfg ~cache) segments in
+  let graph, kernels = stitch g results in
+  let plan = Runtime.Plan.make kernels in
+  {
+    graph;
+    plan;
+    segments = results;
+    total_candidates =
+      List.fold_left (fun a r -> a + Array.length r.candidates) 0 results;
+    total_states = List.fold_left (fun a r -> a + r.id_stats.Kernel_identifier.states) 0 results;
+    prim_nodes =
+      List.fold_left
+        (fun a r -> a + List.length (Primgraph.non_source_nodes r.transformed))
+        0 results;
+    tuning_time_s = cache.Gpu.Profile_cache.tuning_time_s;
+  }
+
+(** [run cfg g] — orchestrate an operator-level computation graph: apply
+    operator fission, then {!run_primgraph}. *)
+let run (cfg : config) (g : Opgraph.t) : result =
+  let pg, _mapping = Fission.Engine.run g in
+  run_primgraph cfg pg

@@ -1,0 +1,70 @@
+(** End-to-end Korch pipeline (Figure 1):
+
+    computation graph → operator fission → partition → per-segment
+    (primitive-graph transformations → kernel identification → kernel
+    profiling → BLP → schedule) → stitched executable plan.
+
+    If a BLP optimum cannot be scheduled (mutually dependent kernels), a
+    no-good cut is added and the BLP re-solved — a small cutting-plane
+    loop around the solver. *)
+
+open Ir
+
+type config = {
+  spec : Gpu.Spec.t;  (** target GPU datasheet *)
+  precision : Gpu.Precision.t;  (** FP32 on V100, TF32 on A100 (§6.1) *)
+  identifier : Kernel_identifier.config;
+  partition_max_prims : int;  (** segment size bound (default 12) *)
+  use_transform : bool;  (** run the TASO-style optimizer per segment *)
+  transform_budget : int;  (** graph expansions per segment search *)
+  ilp_time_limit_s : float;  (** per-segment BLP budget *)
+  ilp_rel_gap : float;
+      (** relative optimality tolerance; 0 proves optimality, small values
+          (default 0.002) cut solve time sharply *)
+  ilp_abs_gap_launches : float;
+      (** absolute tolerance in kernel-launch overheads: strategies within
+          a fraction of one launch are equivalent in practice *)
+  allow_redundancy : bool;
+      (** §4.2's relaxation: primitives may execute in several kernels.
+          Disable for the ablation (prior-work-style disjoint partitions) *)
+}
+
+val default_config : config
+
+(** Per-segment solve outcome (diagnostics; the stitched plan is in
+    {!type-result}). *)
+type segment_result = {
+  seg : Partition.segment;
+  transformed : Primgraph.t;  (** segment graph after transformations *)
+  candidates : Candidate.t array;
+  id_stats : Kernel_identifier.stats;
+  selected : int list;  (** scheduled order of candidate indices *)
+  latency_us : float;  (** BLP objective for this segment *)
+  cuts_added : int;  (** no-good cuts needed before a schedulable optimum *)
+}
+
+type result = {
+  graph : Primgraph.t;  (** stitched post-transformation primitive graph *)
+  plan : Runtime.Plan.t;  (** kernels reference [graph] node ids *)
+  segments : segment_result list;
+  total_candidates : int;
+  total_states : int;
+  prim_nodes : int;  (** executable primitives after fission+transform *)
+  tuning_time_s : float;  (** simulated profiling cost (Table 2) *)
+}
+
+exception Orchestration_failed of string
+
+(** [solve_segment cfg ~cache seg] — transform, identify, profile and
+    solve one partition segment. Exposed for diagnostics and benches. *)
+val solve_segment :
+  config -> cache:Gpu.Profile_cache.t -> Partition.segment -> segment_result
+
+(** [run_primgraph cfg g] — orchestrate a primitive graph. The returned
+    plan executes against [result.graph] (not [g]: transformations may
+    have rewritten it) via {!Runtime.Executor.run}. *)
+val run_primgraph : config -> Primgraph.t -> result
+
+(** [run cfg g] — apply operator fission to a computation graph, then
+    {!run_primgraph}. *)
+val run : config -> Opgraph.t -> result

@@ -1,0 +1,152 @@
+(** Graph partitioning (§2: "Korch first partitions an input computation
+    graph into smaller subgraphs to reduce the optimization space ...
+    while preserving optimization opportunities").
+
+    The primitive graph is split along its topological order into segments
+    of bounded size, preferring to cut where the number of live tensors
+    crossing the boundary is 1 (a clean articulation point). Tensors
+    crossing a boundary become [Input] placeholders named
+    ["__seg:<global id>"] in the consumer segment; the producer segment
+    must publish them, so they are added to its output list. *)
+
+open Ir
+
+let placeholder_prefix = "__seg:"
+
+let placeholder_name gid = Printf.sprintf "%s%d" placeholder_prefix gid
+
+(** [parse_placeholder name] — global producer id, if [name] is a segment
+    placeholder. *)
+let parse_placeholder name =
+  if String.length name > String.length placeholder_prefix
+     && String.sub name 0 (String.length placeholder_prefix) = placeholder_prefix
+  then
+    int_of_string_opt
+      (String.sub name (String.length placeholder_prefix)
+         (String.length name - String.length placeholder_prefix))
+  else None
+
+type segment = {
+  local : Primgraph.t;  (** self-contained subgraph with placeholders *)
+  out_global : int list;  (** global ids of the producers of [local.outputs], aligned *)
+}
+
+(** [split g ~max_prims] — partition [g] into segments of at most
+    [max_prims] executable primitives each. *)
+let split (g : Primgraph.t) ~(max_prims : int) : segment list =
+  if max_prims < 1 then invalid_arg "Partition.split: max_prims must be positive";
+  let exec_order =
+    List.filter (fun id -> not (Primitive.is_source (Graph.op g id))) (Graph.topo_order g)
+  in
+  let n_exec = List.length exec_order in
+  let pos = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.replace pos id i) exec_order;
+  let sc = Graph.succs g in
+  let is_output = Array.make (Graph.length g) false in
+  List.iter (fun o -> is_output.(o) <- true) g.Graph.outputs;
+  (* Last executable consumer position of each executable node; outputs
+     stay live to the end. *)
+  let last_use id =
+    let base = if is_output.(id) then n_exec else -1 in
+    List.fold_left
+      (fun acc s -> match Hashtbl.find_opt pos s with Some p -> max acc p | None -> acc)
+      base sc.(id)
+  in
+  (* Choose window boundaries: a position is a clean cut when at most one
+     produced tensor is still live past it. Windows extend to the LAST
+     clean cut that fits in [max_prims/2, max_prims]; only when no clean
+     cut exists does a window close at the hard size limit. *)
+  let order = Array.of_list exec_order in
+  (* clean.(i) = true when cutting after position i crosses <= 1 tensor. *)
+  let clean = Array.make n_exec false in
+  let live = Hashtbl.create 64 in
+  Array.iteri
+    (fun i id ->
+      Hashtbl.replace live id (last_use id);
+      Hashtbl.iter (fun k l -> if l <= i then Hashtbl.remove live k) (Hashtbl.copy live);
+      clean.(i) <- Hashtbl.length live <= 1)
+    order;
+  let boundaries = ref [] in
+  let window_start = ref 0 in
+  while !window_start < n_exec do
+    let hard_stop = min n_exec (!window_start + max_prims) in
+    (* Last clean position in the window, if any reaches min size. *)
+    let cut = ref hard_stop in
+    (try
+       for i = hard_stop - 1 downto !window_start + max 0 ((max_prims / 2) - 1) do
+         if clean.(i) then begin
+           cut := i + 1;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    boundaries := !cut :: !boundaries;
+    window_start := !cut
+  done;
+  let boundaries = List.rev !boundaries in
+  (* Window index of each executable node. *)
+  let window_of = Hashtbl.create 64 in
+  let () =
+    let start = ref 0 in
+    List.iteri
+      (fun w stop ->
+        for i = !start to stop - 1 do
+          Hashtbl.replace window_of order.(i) w
+        done;
+        start := stop)
+      boundaries
+  in
+  let n_windows = List.length boundaries in
+  (* Build each segment. *)
+  let segments = ref [] in
+  let start = ref 0 in
+  List.iteri
+    (fun w stop ->
+      let members = Array.sub order !start (stop - !start) in
+      start := stop;
+      let b = Primgraph.B.create () in
+      let local_of = Hashtbl.create 32 in
+      (* Returns the local id for a global input reference. *)
+      let rec resolve gid =
+        match Hashtbl.find_opt local_of gid with
+        | Some l -> l
+        | None ->
+          let l =
+            match Graph.op g gid with
+            | Primitive.Input name -> Primgraph.B.input b name (Graph.shape g gid)
+            | Primitive.Constant c -> Primgraph.B.const b c
+            | _ ->
+              if Hashtbl.find_opt window_of gid = Some w then begin
+                (* Member not yet added (cannot happen: topo order). *)
+                add_member gid
+              end
+              else Primgraph.B.input b (placeholder_name gid) (Graph.shape g gid)
+          in
+          Hashtbl.replace local_of gid l;
+          l
+      and add_member gid =
+        let nd = Graph.node g gid in
+        let inputs = List.map resolve nd.Graph.inputs in
+        let l = Primgraph.B.add_raw b nd.Graph.op inputs nd.Graph.shape in
+        Hashtbl.replace local_of gid l;
+        l
+      in
+      Array.iter (fun gid -> ignore (resolve gid)) members;
+      (* Segment outputs: members consumed in later windows or graph
+         outputs. *)
+      let outs =
+        Array.to_list members
+        |> List.filter (fun gid ->
+               is_output.(gid)
+               || List.exists
+                    (fun s ->
+                      match Hashtbl.find_opt window_of s with
+                      | Some w' -> w' > w
+                      | None -> false)
+                    sc.(gid))
+      in
+      Primgraph.B.set_outputs b (List.map (Hashtbl.find local_of) outs);
+      segments := { local = Primgraph.B.finish b; out_global = outs } :: !segments)
+    boundaries;
+  ignore n_windows;
+  List.rev !segments

@@ -1,0 +1,31 @@
+(** Graph partitioning (§2: "Korch first partitions an input computation
+    graph into smaller subgraphs to reduce the optimization space ...
+    while preserving optimization opportunities").
+
+    The primitive graph is split along its topological order into segments
+    of bounded size, preferring to cut at the last position crossed by at
+    most one live tensor. Tensors crossing a boundary become [Input]
+    placeholders in the consumer segment and must be published by the
+    producer segment. *)
+
+open Ir
+
+(** Placeholder naming for cross-segment tensors. *)
+val placeholder_name : int -> string
+
+(** [parse_placeholder name] — global producer id, if [name] is a segment
+    placeholder created by {!placeholder_name}. *)
+val parse_placeholder : string -> int option
+
+type segment = {
+  local : Primgraph.t;
+      (** self-contained subgraph: copied sources + placeholders; its
+          outputs are the tensors later segments or the graph need *)
+  out_global : int list;
+      (** global producer ids of [local.outputs], position-aligned *)
+}
+
+(** [split g ~max_prims] — partition [g] into segments of at most
+    [max_prims] executable primitives each. Together the segments cover
+    every executable primitive exactly once. *)
+val split : Primgraph.t -> max_prims:int -> segment list

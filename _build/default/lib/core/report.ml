@@ -1,0 +1,17 @@
+(** Human-readable orchestration reports. *)
+
+let pp_result ppf (r : Orchestrator.result) =
+  Format.fprintf ppf "Korch orchestration result@.";
+  Format.fprintf ppf "  primitive nodes : %d@." r.Orchestrator.prim_nodes;
+  Format.fprintf ppf "  segments        : %d@." (List.length r.Orchestrator.segments);
+  Format.fprintf ppf "  execution states: %d@." r.Orchestrator.total_states;
+  Format.fprintf ppf "  candidates      : %d@." r.Orchestrator.total_candidates;
+  Format.fprintf ppf "  kernels selected: %d@."
+    (Runtime.Plan.kernel_count r.Orchestrator.plan);
+  Format.fprintf ppf "  redundancy      : %d extra primitive executions@."
+    (Runtime.Plan.redundancy r.Orchestrator.plan);
+  Format.fprintf ppf "  est. latency    : %.2f us@."
+    r.Orchestrator.plan.Runtime.Plan.total_latency_us;
+  Format.fprintf ppf "  sim. tuning time: %.1f s@." r.Orchestrator.tuning_time_s
+
+let summary (r : Orchestrator.result) : string = Format.asprintf "%a" pp_result r

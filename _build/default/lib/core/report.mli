@@ -1,0 +1,8 @@
+(** Human-readable orchestration reports. *)
+
+(** [pp_result ppf r] prints node/state/candidate counts, selected kernel
+    count, redundancy, estimated latency and simulated tuning time. *)
+val pp_result : Format.formatter -> Orchestrator.result -> unit
+
+(** [summary r] is [pp_result] rendered to a string. *)
+val summary : Orchestrator.result -> string

@@ -1,0 +1,1 @@
+lib/fission/canonicalize.ml: Array Const Graph Hashtbl Ir List Nd Opgraph Optype Tensor

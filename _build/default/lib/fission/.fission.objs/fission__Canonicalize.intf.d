@@ -1,0 +1,1 @@
+lib/fission/canonicalize.mli: Ir Opgraph

@@ -1,0 +1,1 @@
+lib/fission/engine.ml: Array Graph Ir List Opgraph Optype Primgraph Primitive Printf Rule Rules_basic Rules_norm Rules_softmax Tensor

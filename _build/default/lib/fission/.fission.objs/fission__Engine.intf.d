@@ -1,0 +1,1 @@
+lib/fission/engine.mli: Ir Opgraph Optype Primgraph Rule

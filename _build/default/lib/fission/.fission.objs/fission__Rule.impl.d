@@ -1,0 +1,1 @@
+lib/fission/rule.ml: Ir List Primgraph Printf Tensor

@@ -1,0 +1,1 @@
+lib/fission/rules_basic.ml: Array Ir Primgraph Primitive Printf Rule

@@ -1,0 +1,1 @@
+lib/fission/rules_norm.ml: Array Ir List Primgraph Primitive Printf Rule Tensor

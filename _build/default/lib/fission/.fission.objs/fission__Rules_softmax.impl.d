@@ -1,0 +1,1 @@
+lib/fission/rules_softmax.ml: Array Ir Primgraph Primitive Rule

@@ -1,0 +1,93 @@
+(** The operator fission engine (§3, §5.1).
+
+    Walks an operator graph in topological order and applies the per-operator
+    fission rule, producing a functionally equivalent primitive graph. *)
+
+open Ir
+
+(** [rule_for op] selects the fission rule for an operator. [Input] and
+    [Constant] are handled by the engine itself. *)
+let rule_for (op : Optype.t) : Rule.t =
+  match op with
+  | Optype.Input _ | Constant _ -> invalid_arg "fission: sources handled by engine"
+  | Relu -> Rules_basic.unary Primitive.Relu
+  | LeakyRelu a -> Rules_basic.unary (Primitive.LeakyRelu a)
+  | Sigmoid -> Rules_basic.unary Primitive.Sigmoid
+  | Silu -> Rules_basic.silu
+  | Mish -> Rules_basic.mish
+  | Tanh -> Rules_basic.unary Primitive.Tanh
+  | Gelu -> Rules_basic.gelu
+  | Erf -> Rules_basic.unary Primitive.Erf
+  | Exp -> Rules_basic.unary Primitive.Exp
+  | Log -> Rules_basic.unary Primitive.Log
+  | Sqrt -> Rules_basic.unary Primitive.Sqrt
+  | Neg -> Rules_basic.unary Primitive.Neg
+  | Square -> Rules_basic.unary Primitive.Square
+  | Add -> Rules_basic.binary Primitive.Add
+  | Sub -> Rules_basic.binary Primitive.Sub
+  | Mul -> Rules_basic.binary Primitive.Mul
+  | Div -> Rules_basic.binary Primitive.Div
+  | Pow -> Rules_basic.binary Primitive.Pow
+  | Softmax axis -> Rules_softmax.rule ~axis
+  | InstanceNorm eps -> Rules_norm.instance_norm ~eps
+  | LayerNorm eps -> Rules_norm.layer_norm ~eps
+  | BatchNormInference eps -> Rules_norm.batch_norm ~eps
+  | ReduceSum { axis; keepdims } -> Rules_basic.reduce Primitive.Sum ~axis ~keepdims
+  | ReduceMean { axis; keepdims } -> Rules_basic.reduce Primitive.Mean ~axis ~keepdims
+  | ReduceMax { axis; keepdims } -> Rules_basic.reduce Primitive.Max ~axis ~keepdims
+  | MaxPool { kernel; stride; padding } ->
+    Rules_basic.pool ~agg:Primitive.Max ~kernel ~stride ~padding
+  | AvgPool { kernel; stride; padding } ->
+    Rules_basic.pool ~agg:Primitive.Mean ~kernel ~stride ~padding
+  | GlobalAvgPool -> Rules_basic.global_avg_pool
+  | Transpose perm -> Rules_basic.layout (Primitive.Transpose perm)
+  | Reshape s -> Rules_basic.layout (Primitive.Reshape s)
+  | Pad { before; after; value } -> Rules_basic.layout (Primitive.Pad { before; after; value })
+  | Slice { starts; stops } -> Rules_basic.layout (Primitive.Slice { starts; stops })
+  | Concat axis -> Rules_basic.layout (Primitive.Concat axis)
+  | MatMul -> Rules_basic.matmul
+  | Conv { stride; padding; bias } -> Rules_basic.conv ~stride ~padding ~bias
+  | Upsample scale -> Rules_basic.upsample scale
+  | TopK k -> Rules_basic.topk k
+
+(** [run_detailed g] applies operator fission to the whole computation
+    graph, returning the primitive graph, the mapping from operator node id
+    to the primitive node producing that operator's output, and per-operator
+    primitive id ranges [(start, stop)] (the primitives each operator
+    decomposed into — used by the operator-level fusion baselines to cost
+    their kernels with the same model Korch uses). *)
+let run_detailed (g : Opgraph.t) : Primgraph.t * int array * (int * int) array =
+  let b = Primgraph.B.create () in
+  let mapping = Array.make (Graph.length g) (-1) in
+  let ranges = Array.make (Graph.length g) (0, 0) in
+  List.iter
+    (fun id ->
+      let nd = Graph.node g id in
+      let start = b.Graph.Builder.count in
+      let prim_out =
+        match nd.Graph.op with
+        | Optype.Input name -> Primgraph.B.input b name nd.Graph.shape
+        | Optype.Constant c -> Primgraph.B.const b c
+        | op ->
+          let inputs = List.map (fun i -> mapping.(i)) nd.Graph.inputs in
+          let ctx = Rule.{ b; inputs; out_shape = nd.Graph.shape } in
+          (rule_for op) ctx
+      in
+      ranges.(id) <- (start, b.Graph.Builder.count);
+      (* Fission must preserve the operator's output shape exactly. *)
+      let got = Primgraph.B.shape_of b prim_out in
+      if not (Tensor.Shape.equal got nd.Graph.shape) then
+        invalid_arg
+          (Printf.sprintf "fission: %s produced shape %s, expected %s"
+             (Optype.to_string nd.Graph.op)
+             (Tensor.Shape.to_string got)
+             (Tensor.Shape.to_string nd.Graph.shape));
+      mapping.(id) <- prim_out)
+    (Graph.topo_order g);
+  Primgraph.B.set_outputs b (List.map (fun i -> mapping.(i)) g.Graph.outputs);
+  (Primgraph.B.finish b, mapping, ranges)
+
+(** [run g] — as {!run_detailed} without the per-operator ranges. *)
+let run (g : Opgraph.t) : Primgraph.t * int array =
+  let pg, mapping, _ = run_detailed g in
+  (pg, mapping)

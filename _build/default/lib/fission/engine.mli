@@ -1,0 +1,23 @@
+(** The operator fission engine (§3, §5.1).
+
+    Walks an operator graph in topological order and applies each
+    operator's fission rule, producing a functionally equivalent primitive
+    graph. The fission rule table lives in the implementation
+    ({!rule_for}); per-operator rules are in [Rules_basic],
+    [Rules_softmax] (Figure 3) and [Rules_norm]. *)
+
+open Ir
+
+(** [rule_for op] — the fission rule for [op]. Raises [Invalid_argument]
+    on sources ([Input]/[Constant]), which the engine handles itself. *)
+val rule_for : Optype.t -> Rule.t
+
+(** [run_detailed g] — the primitive graph, the mapping from operator node
+    id to the primitive producing that operator's output, and per-operator
+    primitive id ranges [(start, stop)] — used by the operator-level
+    fusion baselines to cost their kernels under the same model as
+    Korch. *)
+val run_detailed : Opgraph.t -> Primgraph.t * int array * (int * int) array
+
+(** [run g] — as {!run_detailed} without the ranges. *)
+val run : Opgraph.t -> Primgraph.t * int array

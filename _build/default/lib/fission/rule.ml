@@ -1,0 +1,26 @@
+(** Operator fission rule interface (§3).
+
+    A rule translates one operator node into a functionally equivalent
+    sub-DAG of primitives inside a shared primitive-graph builder. The rule
+    receives the primitive ids corresponding to the operator's inputs and
+    returns the primitive id producing the operator's output. *)
+
+open Ir
+
+type ctx = {
+  b : Primgraph.B.b;  (** destination builder *)
+  inputs : int list;  (** primitive ids of the operator's inputs, in order *)
+  out_shape : Tensor.Shape.t;  (** the operator's inferred output shape *)
+}
+
+type t = ctx -> int
+
+let one_input ctx =
+  match ctx.inputs with
+  | [ x ] -> x
+  | l -> invalid_arg (Printf.sprintf "fission rule: expected 1 input, got %d" (List.length l))
+
+let two_inputs ctx =
+  match ctx.inputs with
+  | [ x; y ] -> (x, y)
+  | l -> invalid_arg (Printf.sprintf "fission rule: expected 2 inputs, got %d" (List.length l))

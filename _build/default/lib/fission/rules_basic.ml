@@ -1,0 +1,100 @@
+(** Fission rules for operators that map to a single primitive (or a short
+    elementwise chain): activations, binary arithmetic, layout and linear
+    operators. *)
+
+open Ir
+
+let unary (u : Primitive.unary) : Rule.t =
+ fun ctx -> Primgraph.B.add ctx.Rule.b (Primitive.Unary u) [ Rule.one_input ctx ]
+
+let binary (op : Primitive.binary) : Rule.t =
+ fun ctx ->
+  let x, y = Rule.two_inputs ctx in
+  Primgraph.B.add ctx.Rule.b (Primitive.Binary op) [ x; y ]
+
+(** GELU decomposes into its erf definition:
+    [0.5 * x * (1 + erf (x / sqrt 2))] — five elementwise primitives. All
+    carry the same parallelism, so kernel orchestration is free to fuse the
+    chain back together or split it across neighbouring kernels. *)
+let gelu : Rule.t =
+ fun ctx ->
+  let b = ctx.Rule.b in
+  let x = Rule.one_input ctx in
+  let scaled = Primgraph.B.add b (Primitive.Unary (MulConst (1.0 /. sqrt 2.0))) [ x ] in
+  let erf = Primgraph.B.add b (Primitive.Unary Erf) [ scaled ] in
+  let plus1 = Primgraph.B.add b (Primitive.Unary (AddConst 1.0)) [ erf ] in
+  let prod = Primgraph.B.add b (Primitive.Binary Mul) [ x; plus1 ] in
+  Primgraph.B.add b (Primitive.Unary (MulConst 0.5)) [ prod ]
+
+(** SiLU decomposes into [x * sigmoid x]. *)
+let silu : Rule.t =
+ fun ctx ->
+  let b = ctx.Rule.b in
+  let x = Rule.one_input ctx in
+  let s = Primgraph.B.add b (Primitive.Unary Sigmoid) [ x ] in
+  Primgraph.B.add b (Primitive.Binary Mul) [ x; s ]
+
+(** Mish decomposes into [x * tanh (log (1 + exp x))]. *)
+let mish : Rule.t =
+ fun ctx ->
+  let b = ctx.Rule.b in
+  let x = Rule.one_input ctx in
+  let e = Primgraph.B.add b (Primitive.Unary Exp) [ x ] in
+  let p = Primgraph.B.add b (Primitive.Unary (AddConst 1.0)) [ e ] in
+  let l = Primgraph.B.add b (Primitive.Unary Log) [ p ] in
+  let t = Primgraph.B.add b (Primitive.Unary Tanh) [ l ] in
+  Primgraph.B.add b (Primitive.Binary Mul) [ x; t ]
+
+let reduce (agg : Primitive.agg) ~axis ~keepdims : Rule.t =
+ fun ctx ->
+  let b = ctx.Rule.b in
+  let r = Primgraph.B.add b (Primitive.Reduce (agg, axis)) [ Rule.one_input ctx ] in
+  if keepdims then Primgraph.B.add b (Primitive.Broadcast (axis, 1)) [ r ] else r
+
+let pool ~agg ~kernel ~stride ~padding : Rule.t =
+ fun ctx ->
+  Primgraph.B.add ctx.Rule.b
+    (Primitive.Pool { agg; kernel; stride; padding })
+    [ Rule.one_input ctx ]
+
+(** GlobalAvgPool = spatial mean reductions followed by keepdims
+    broadcasts: NCHW -> NC -> NC11. *)
+let global_avg_pool : Rule.t =
+ fun ctx ->
+  let b = ctx.Rule.b in
+  let x = Rule.one_input ctx in
+  let m3 = Primgraph.B.add b (Primitive.Reduce (Mean, 3)) [ x ] in
+  let m2 = Primgraph.B.add b (Primitive.Reduce (Mean, 2)) [ m3 ] in
+  let b2 = Primgraph.B.add b (Primitive.Broadcast (2, 1)) [ m2 ] in
+  Primgraph.B.add b (Primitive.Broadcast (3, 1)) [ b2 ]
+
+let layout (p : Primitive.t) : Rule.t =
+ fun ctx -> Primgraph.B.add ctx.Rule.b p ctx.Rule.inputs
+
+let matmul : Rule.t =
+ fun ctx ->
+  let x, y = Rule.two_inputs ctx in
+  Primgraph.B.add ctx.Rule.b Primitive.Matmul [ x; y ]
+
+(** Convolution with bias splits into the linear Conv primitive plus a
+    broadcasted elementwise Add of the reshaped bias. *)
+let conv ~stride ~padding ~bias : Rule.t =
+ fun ctx ->
+  let b = ctx.Rule.b in
+  match (bias, ctx.Rule.inputs) with
+  | false, [ x; w ] -> Primgraph.B.add b (Primitive.Conv { stride; padding }) [ x; w ]
+  | true, [ x; w; bias_id ] ->
+    let y = Primgraph.B.add b (Primitive.Conv { stride; padding }) [ x; w ] in
+    let oc = (Primgraph.B.shape_of b y).(1) in
+    let bias4 = Primgraph.B.add b (Primitive.Reshape [| 1; oc; 1; 1 |]) [ bias_id ] in
+    Primgraph.B.add b (Primitive.Binary Add) [ y; bias4 ]
+  | _ -> invalid_arg "fission conv: arity mismatch"
+
+let upsample scale : Rule.t =
+ fun ctx -> Primgraph.B.add ctx.Rule.b (Primitive.Upsample scale) [ Rule.one_input ctx ]
+
+let topk k : Rule.t =
+ fun ctx ->
+  Primgraph.B.add_raw ctx.Rule.b
+    (Primitive.Opaque (Printf.sprintf "topk(%d)" k))
+    ctx.Rule.inputs ctx.Rule.out_shape

@@ -1,0 +1,20 @@
+(** The softmax fission rule (Figure 3).
+
+    [softmax(x)_i = exp(x_i) / sum_j exp(x_j)] decomposes into an
+    elementwise exponential, a reduce along the softmax axis, a broadcast
+    back, and an elementwise division. The three components carry distinct
+    parallelism degrees — the very example the paper uses to motivate
+    operator fission (§1). *)
+
+open Ir
+
+let rule ~(axis : int) : Rule.t =
+ fun ctx ->
+  let b = ctx.Rule.b in
+  let x = Rule.one_input ctx in
+  let shape = Primgraph.B.shape_of b x in
+  let d = shape.(axis) in
+  let e = Primgraph.B.add b (Primitive.Unary Exp) [ x ] in
+  let s = Primgraph.B.add b (Primitive.Reduce (Sum, axis)) [ e ] in
+  let bc = Primgraph.B.add b (Primitive.Broadcast (axis, d)) [ s ] in
+  Primgraph.B.add b (Primitive.Binary Div) [ e; bc ]

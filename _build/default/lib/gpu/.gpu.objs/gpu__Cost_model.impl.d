@@ -1,0 +1,1 @@
+lib/gpu/cost_model.ml: Float Ir List Precision Spec Stats Stdlib

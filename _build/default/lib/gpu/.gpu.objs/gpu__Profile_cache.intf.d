@@ -1,0 +1,1 @@
+lib/gpu/profile_cache.mli: Bitset Hashtbl Ir Precision Primgraph Profiler Spec

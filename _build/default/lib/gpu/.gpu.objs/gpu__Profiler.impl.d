@@ -1,0 +1,1 @@
+lib/gpu/profiler.ml: Bitset Buffer Cost_model Graph Hashtbl Ir List Precision Primgraph Primitive Printf Spec Stats Tensor

@@ -1,0 +1,1 @@
+lib/gpu/profiler.mli: Bitset Cost_model Ir Precision Primgraph Spec

@@ -1,0 +1,1 @@
+lib/gpu/stats.ml: Array Bitset Graph Hashtbl Ir List Primgraph Primitive Shape Stdlib Tensor

@@ -1,0 +1,135 @@
+(** Analytical GPU kernel cost model (substitute for on-device profiling).
+
+    Roofline with kernel-launch overhead:
+    [latency = max (memory_time, compute_time) + launch_overhead].
+
+    Memory time models three effects the paper's case studies hinge on:
+    - fused kernels touch each distinct external input once and each
+      published output once — intermediates live in registers/shared
+      memory, so fusion removes traffic;
+    - every reduction whose result is consumed inside the same kernel at
+      pre-reduction resolution forces an extra pass over the data (the
+      softmax problem, §1);
+    - mixing primitive categories with different parallelism degrees in a
+      generated (TVM-style) kernel lowers achieved bandwidth, and very
+      large fused kernels degrade codegen quality (Figure 13).
+
+    Compute time models GEMM/conv tile efficiency, including the
+    extreme-aspect-ratio penalty that makes layout-folded MatMuls several
+    times faster (Figure 8, ~3.5x). *)
+
+type config = {
+  tvm_base_eff : float;  (** achieved/peak bandwidth of a clean generated kernel *)
+  vendor_base_eff : float;  (** bandwidth efficiency of vendor library kernels *)
+  class_mix_penalty : float;  (** per extra primitive category in one kernel *)
+  codegen_decay : float;
+      (** coefficient of generated-code quality decay beyond
+          [codegen_free_prims] primitives *)
+  codegen_decay_exp : float;
+      (** superlinear exponent of the decay: auto-schedulers degrade
+          gracefully on mid-size fusions but fall off a cliff on very
+          large ones (the Figure 13 effect) *)
+  codegen_free_prims : int;
+  gemm_base_eff : float;  (** vendor GEMM efficiency at friendly shapes *)
+  gemm_tile : float;  (** dimension below which GEMM tiles are underfilled *)
+  ew_compute_eff : float;  (** CUDA-core efficiency of elementwise math *)
+  opaque_eff : float;
+}
+
+let default_config =
+  {
+    tvm_base_eff = 0.82;
+    vendor_base_eff = 0.90;
+    class_mix_penalty = 0.28;
+    codegen_decay = 0.05;
+    codegen_decay_exp = 1.7;
+    codegen_free_prims = 5;
+    gemm_base_eff = 0.88;
+    gemm_tile = 64.0;
+    ew_compute_eff = 0.70;
+    opaque_eff = 0.50;
+  }
+
+type backend_kind = Tvm | Vendor | OpaqueExec
+
+let backend_to_string = function
+  | Tvm -> "tvm"
+  | Vendor -> "vendor"
+  | OpaqueExec -> "opaque"
+
+(** [gemm_efficiency cfg (m, n, k)] — fraction of peak matrix throughput a
+    vendor GEMM achieves. Thin matrices underfill tiles: efficiency decays
+    linearly below [gemm_tile] in any dimension. *)
+let gemm_efficiency (cfg : config) ((m, n, k) : int * int * int) : float =
+  let dim_eff d = Float.min 1.0 (float_of_int d /. cfg.gemm_tile) in
+  cfg.gemm_base_eff *. dim_eff m *. dim_eff n *. Float.min 1.0 (dim_eff k *. 2.0)
+
+(** [memory_efficiency cfg ~spec ~backend stats] — achieved fraction of
+    peak bandwidth for this kernel. Generated (TVM) kernels additionally
+    scale with the architecture's [tvm_maturity] (§6.2: TVM lags TensorRT
+    on A100). *)
+let memory_efficiency (cfg : config) ~(spec : Spec.t) ~(backend : backend_kind)
+    (s : Stats.kernel_stats) : float =
+  let base =
+    match backend with
+    | Tvm -> cfg.tvm_base_eff *. spec.Spec.tvm_maturity
+    | Vendor -> cfg.vendor_base_eff
+    | OpaqueExec -> cfg.opaque_eff
+  in
+  (* Parallelism classes, not categories: elementwise, broadcast and
+     layout primitives are all injective maps with identical parallelism,
+     so fusing them is free; only mixing injective work with reductions or
+     linear transformations costs generated-kernel quality (§1/§3). *)
+  let parallelism_class = function
+    | Ir.Primitive.Elementwise | Broadcasting | Layout -> Some `Injective
+    | Reduction -> Some `Reduce
+    | Linear -> Some `Linear
+    | Unknown -> Some `Opaque
+    | Source -> None
+  in
+  let exec_classes =
+    List.sort_uniq compare (List.filter_map parallelism_class s.Stats.classes)
+  in
+  let mix = Float.max 0.0 (float_of_int (List.length exec_classes - 1)) in
+  let size_decay =
+    cfg.codegen_decay
+    *. (float_of_int (Stdlib.max 0 (s.Stats.n_prims - cfg.codegen_free_prims))
+       ** cfg.codegen_decay_exp)
+  in
+  base /. (1.0 +. (cfg.class_mix_penalty *. mix) +. size_decay)
+
+(** [latency_us cfg ~spec ~precision ~backend g members ~outputs] — modelled
+    latency in microseconds of running the primitive set [members] as one
+    kernel. *)
+let latency_us (cfg : config) ~(spec : Spec.t) ~(precision : Precision.t)
+    ~(backend : backend_kind) (g : Ir.Primgraph.t) (members : Ir.Bitset.t)
+    ~(outputs : int list) : float =
+  let s = Stats.kernel_stats g members ~outputs in
+  let bytes_per = float_of_int (Precision.bytes_per_element precision) in
+  let traffic_bytes =
+    (s.Stats.read_elems +. s.Stats.extra_read_elems +. s.Stats.write_elems) *. bytes_per
+  in
+  let mem_eff = memory_efficiency cfg ~spec ~backend s in
+  let mem_time_s = traffic_bytes /. (spec.Spec.mem_bw_gb_s *. 1e9 *. mem_eff) in
+  let compute_time_s =
+    match s.Stats.linear_prims with
+    | [] ->
+      let peak = Precision.vector_tflops spec precision *. 1e12 in
+      s.Stats.flops /. (peak *. cfg.ew_compute_eff)
+    | lins ->
+      let peak = Precision.peak_tflops spec precision *. 1e12 in
+      let eff =
+        List.fold_left
+          (fun acc id ->
+            match Stats.linear_dims g id with
+            | Some dims -> Float.min acc (gemm_efficiency cfg dims)
+            | None -> acc)
+          1.0 lins
+      in
+      s.Stats.flops /. (peak *. Float.max 0.01 eff)
+  in
+  (Float.max mem_time_s compute_time_s *. 1e6) +. spec.Spec.launch_overhead_us
+
+(** [plan_latency_us latencies] — Eq. (2): execution strategies cost the
+    sum of their kernels' latencies. *)
+let plan_latency_us (latencies : float list) = List.fold_left ( +. ) 0.0 latencies

@@ -1,0 +1,33 @@
+(** Numeric precision selection.
+
+    The paper evaluates FP32 on V100 and TF32 (tensor cores enabled) on
+    A100 (§6.1). Precision affects the peak throughput used for the
+    compute-bound side of the roofline; element size stays 4 bytes for both
+    FP32 and TF32. *)
+
+type t = FP32 | TF32 | FP16
+
+let to_string = function FP32 -> "fp32" | TF32 -> "tf32" | FP16 -> "fp16"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "fp32" -> Some FP32
+  | "tf32" -> Some TF32
+  | "fp16" -> Some FP16
+  | _ -> None
+
+(** [bytes_per_element p] — storage footprint of one scalar. *)
+let bytes_per_element = function FP32 | TF32 -> 4 | FP16 -> 2
+
+(** [peak_tflops spec p] — peak throughput for matrix-math at this
+    precision. *)
+let peak_tflops (spec : Spec.t) = function
+  | FP32 -> spec.Spec.fp32_tflops
+  | TF32 -> spec.Spec.tf32_tflops
+  | FP16 -> spec.Spec.fp16_tflops
+
+(** [vector_tflops spec p] — peak throughput for non-matrix (CUDA-core)
+    arithmetic; tensor cores do not apply to elementwise work. *)
+let vector_tflops (spec : Spec.t) = function
+  | FP32 | TF32 -> spec.Spec.fp32_tflops
+  | FP16 -> spec.Spec.fp32_tflops *. 2.0

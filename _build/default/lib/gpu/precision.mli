@@ -1,0 +1,22 @@
+(** Numeric precision selection.
+
+    The paper evaluates FP32 on V100 and TF32 (tensor cores) on A100
+    (§6.1). Precision selects the peak throughput used on the
+    compute-bound side of the roofline; FP32 and TF32 both store 4 bytes
+    per scalar. *)
+
+type t = FP32 | TF32 | FP16
+
+val to_string : t -> string
+val of_string : string -> t option
+
+(** Storage footprint of one scalar, in bytes. *)
+val bytes_per_element : t -> int
+
+(** Peak matrix-math throughput at this precision (tensor cores where the
+    architecture has them). *)
+val peak_tflops : Spec.t -> t -> float
+
+(** Peak non-matrix (CUDA-core) arithmetic throughput — tensor cores do
+    not apply to elementwise work. *)
+val vector_tflops : Spec.t -> t -> float

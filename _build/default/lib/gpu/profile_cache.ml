@@ -1,0 +1,38 @@
+(** Profile database (the paper's "TVM database", §6.5/A.7).
+
+    Caches profiling results by canonical kernel signature so structurally
+    identical candidates are tuned once. Tracks cumulative simulated tuning
+    time — the quantity Table 2 reports — counting each distinct kernel's
+    tuning cost exactly once. *)
+
+open Ir
+
+type t = {
+  table : (string, Profiler.result option) Hashtbl.t;
+  mutable tuning_time_s : float;  (** accumulated simulated tuning time *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 1024; tuning_time_s = 0.0; hits = 0; misses = 0 }
+
+(** [profile cache cfg ~spec ~precision g members ~outputs] — cached
+    version of {!Profiler.profile}. *)
+let profile (cache : t) (cfg : Profiler.config) ~(spec : Spec.t)
+    ~(precision : Precision.t) (g : Primgraph.t) (members : Bitset.t)
+    ~(outputs : int list) : Profiler.result option =
+  let key = Profiler.signature g members ~outputs ~spec ~precision in
+  match Hashtbl.find_opt cache.table key with
+  | Some r ->
+    cache.hits <- cache.hits + 1;
+    r
+  | None ->
+    cache.misses <- cache.misses + 1;
+    let r = Profiler.profile cfg ~spec ~precision g members ~outputs in
+    (match r with Some r -> cache.tuning_time_s <- cache.tuning_time_s +. r.Profiler.tuning_time_s | None -> ());
+    Hashtbl.replace cache.table key r;
+    r
+
+(** [distinct_kernels cache] — number of distinct candidate kernels
+    profiled (cache entries). *)
+let distinct_kernels (cache : t) = Hashtbl.length cache.table

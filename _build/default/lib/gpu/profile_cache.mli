@@ -1,0 +1,31 @@
+(** Profile database (the paper's "TVM database", §6.5/A.7).
+
+    Caches profiling results by canonical kernel signature so structurally
+    identical candidates are tuned once, and accumulates the simulated
+    tuning time Table 2 reports. *)
+
+open Ir
+
+type t = {
+  table : (string, Profiler.result option) Hashtbl.t;
+  mutable tuning_time_s : float;  (** accumulated simulated tuning time *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val create : unit -> t
+
+(** Cached version of {!Profiler.profile}: a miss profiles and charges its
+    tuning time; a hit is free. *)
+val profile :
+  t ->
+  Profiler.config ->
+  spec:Spec.t ->
+  precision:Precision.t ->
+  Primgraph.t ->
+  Bitset.t ->
+  outputs:int list ->
+  Profiler.result option
+
+(** Number of distinct candidate kernels profiled so far. *)
+val distinct_kernels : t -> int

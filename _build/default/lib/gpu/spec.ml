@@ -1,0 +1,56 @@
+(** GPU datasheets (Figure 5).
+
+    Published peak numbers for the four generations the paper plots. The
+    key trend the paper builds on — floating-point throughput growing much
+    faster than memory bandwidth — is visible directly in these numbers and
+    is what makes redundant computation profitable (§4.2). *)
+
+type t = {
+  name : string;
+  fp32_tflops : float;  (** peak FP32 (CUDA core) TFLOP/s *)
+  tf32_tflops : float;  (** peak TF32 tensor-core TFLOP/s (= FP32 where absent) *)
+  fp16_tflops : float;  (** peak FP16 (tensor-core where present) TFLOP/s *)
+  mem_bw_gb_s : float;  (** peak device memory bandwidth, GB/s *)
+  launch_overhead_us : float;  (** per-kernel launch latency, microseconds *)
+  l2_cache_mb : float;
+  tvm_maturity : float;
+      (** achieved fraction of nominal quality for auto-generated (TVM)
+          kernels on this architecture. §6.2 observes that TVM's schedules
+          lag hand-tuned TensorRT on A100, reducing Korch's edge there —
+          generated-kernel quality is not uniform across generations. *)
+}
+
+(** Tesla P100 (SXM2, 16 GB HBM2). *)
+let p100 =
+  { name = "P100"; fp32_tflops = 10.6; tf32_tflops = 10.6; fp16_tflops = 21.2;
+    mem_bw_gb_s = 732.0; launch_overhead_us = 5.0; l2_cache_mb = 4.0; tvm_maturity = 1.0 }
+
+(** Tesla V100 (SXM2, 16 GB HBM2) — the paper's primary platform. *)
+let v100 =
+  { name = "V100"; fp32_tflops = 15.7; tf32_tflops = 15.7; fp16_tflops = 125.0;
+    mem_bw_gb_s = 900.0; launch_overhead_us = 5.0; l2_cache_mb = 6.0; tvm_maturity = 1.0 }
+
+(** A100 (SXM4, 80 GB HBM2e) — the paper's second platform. *)
+let a100 =
+  { name = "A100"; fp32_tflops = 19.5; tf32_tflops = 156.0; fp16_tflops = 312.0;
+    mem_bw_gb_s = 2039.0; launch_overhead_us = 4.0; l2_cache_mb = 40.0; tvm_maturity = 0.8 }
+
+(** H100 (SXM5, 80 GB HBM3), included in the Figure 5 trend. *)
+let h100 =
+  { name = "H100"; fp32_tflops = 66.9; tf32_tflops = 494.5; fp16_tflops = 989.0;
+    mem_bw_gb_s = 3350.0; launch_overhead_us = 4.0; l2_cache_mb = 50.0; tvm_maturity = 0.75 }
+
+let all = [ p100; v100; a100; h100 ]
+
+let by_name name =
+  match String.lowercase_ascii name with
+  | "p100" -> Some p100
+  | "v100" -> Some v100
+  | "a100" -> Some a100
+  | "h100" -> Some h100
+  | _ -> None
+
+(** [flops_to_bw_ratio g] is peak matrix-math (FP16/tensor-core) FLOP per
+    byte of memory bandwidth — the quantity whose growth across
+    generations (Figure 5) justifies redundant computation (§4.2). *)
+let flops_to_bw_ratio (g : t) = g.fp16_tflops *. 1e12 /. (g.mem_bw_gb_s *. 1e9)

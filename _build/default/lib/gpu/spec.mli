@@ -1,0 +1,40 @@
+(** GPU datasheets (Figure 5).
+
+    Published peak numbers for the four generations the paper plots; the
+    trend they expose — floating-point throughput outgrowing memory
+    bandwidth — is what makes redundant computation profitable (§4.2). *)
+
+type t = {
+  name : string;
+  fp32_tflops : float;  (** peak FP32 (CUDA-core) TFLOP/s *)
+  tf32_tflops : float;  (** peak TF32 tensor-core TFLOP/s (= FP32 where absent) *)
+  fp16_tflops : float;  (** peak FP16 (tensor-core where present) TFLOP/s *)
+  mem_bw_gb_s : float;  (** peak device memory bandwidth, GB/s *)
+  launch_overhead_us : float;  (** per-kernel launch latency, microseconds *)
+  l2_cache_mb : float;
+  tvm_maturity : float;
+      (** achieved fraction of nominal quality for auto-generated (TVM)
+          kernels on this architecture; §6.2 observes TVM lags hand-tuned
+          TensorRT on A100 *)
+}
+
+val p100 : t
+
+(** The paper's primary platform (16 GB SXM2). *)
+val v100 : t
+
+(** The paper's second platform (80 GB SXM4). *)
+val a100 : t
+
+val h100 : t
+
+(** All four generations, oldest first. *)
+val all : t list
+
+(** [by_name "v100"] — case-insensitive lookup. *)
+val by_name : string -> t option
+
+(** [flops_to_bw_ratio g] — peak matrix-math FLOP per byte of bandwidth,
+    the quantity whose growth across generations (Figure 5) justifies
+    redundant computation. *)
+val flops_to_bw_ratio : t -> float

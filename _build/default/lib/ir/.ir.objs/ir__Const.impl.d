@@ -1,0 +1,1 @@
+lib/ir/const.ml: Nd Printf Rng Shape Tensor

@@ -1,0 +1,1 @@
+lib/ir/const.mli: Nd Shape Tensor

@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Array Bitset Format Fun Hashtbl Int List Queue Set Shape String Tensor

@@ -1,0 +1,1 @@
+lib/ir/opgraph.ml: Const Graph List Optype Shape_infer

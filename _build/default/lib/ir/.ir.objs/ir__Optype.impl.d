@@ -1,0 +1,1 @@
+lib/ir/optype.ml: Array Const Format Printf Shape String Tensor

@@ -1,0 +1,1 @@
+lib/ir/primgraph.ml: Array Const Graph List Primitive Shape Shape_infer Tensor

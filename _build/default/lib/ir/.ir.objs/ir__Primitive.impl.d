@@ -1,0 +1,1 @@
+lib/ir/primitive.ml: Array Const Format Ops_reduce Printf Shape String Tensor

@@ -1,0 +1,1 @@
+lib/ir/shape_infer.ml: Array Const List Optype Primitive Printf Shape Tensor

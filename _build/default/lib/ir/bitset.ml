@@ -1,0 +1,96 @@
+(** Fixed-capacity bitsets over node ids.
+
+    Execution states (Definition 2) and convex subgraphs (Definition 1) are
+    node sets; the kernel identifier manipulates thousands of them, so a
+    compact immutable representation with fast hash/compare matters. *)
+
+type t = { width : int; words : int array }
+
+let words_for width = (width + 62) / 63
+
+(** [empty width] is the empty set over a universe of [width] nodes. *)
+let empty width = { width; words = Array.make (words_for width) 0 }
+
+let check_bounds t i =
+  if i < 0 || i >= t.width then invalid_arg "Bitset: index out of bounds"
+
+(** [mem t i] tests membership. *)
+let mem t i =
+  check_bounds t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+(** [add t i] is [t] with [i] inserted (persistent). *)
+let add t i =
+  check_bounds t i;
+  let words = Array.copy t.words in
+  words.(i / 63) <- words.(i / 63) lor (1 lsl (i mod 63));
+  { t with words }
+
+(** [remove t i] is [t] without [i] (persistent). *)
+let remove t i =
+  check_bounds t i;
+  let words = Array.copy t.words in
+  words.(i / 63) <- words.(i / 63) land lnot (1 lsl (i mod 63));
+  { t with words }
+
+let lift2 f a b =
+  if a.width <> b.width then invalid_arg "Bitset: width mismatch";
+  { width = a.width; words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) }
+
+let union = lift2 ( lor )
+let inter = lift2 ( land )
+
+(** [diff a b] is set difference [a \ b]. *)
+let diff = lift2 (fun x y -> x land lnot y)
+
+let equal a b = a.width = b.width && a.words = b.words
+
+(** [subset a b] tests [a ⊆ b]. *)
+let subset a b =
+  a.width = b.width
+  && Array.for_all2 (fun x y -> x land lnot y = 0) a.words b.words
+
+(** [is_empty t] tests emptiness. *)
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+(** [cardinal t] is the number of members. *)
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+(** [iter f t] applies [f] to every member in increasing order. *)
+let iter f t =
+  for i = 0 to t.width - 1 do
+    if mem t i then f i
+  done
+
+(** [fold f t init] folds over members in increasing order. *)
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+(** [elements t] lists members in increasing order. *)
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+(** [of_list width l] builds a set from a list of indices. *)
+let of_list width l = List.fold_left add (empty width) l
+
+(** [full width] is the universe set. *)
+let full width = of_list width (List.init width (fun i -> i))
+
+let hash t = Hashtbl.hash t.words
+
+let to_string t =
+  "{" ^ String.concat "," (List.map string_of_int (elements t)) ^ "}"
+
+(** First-class hashtable key module. *)
+module Key = struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end
+
+module Table = Hashtbl.Make (Key)

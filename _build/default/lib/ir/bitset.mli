@@ -1,0 +1,54 @@
+(** Fixed-capacity persistent bitsets over node ids.
+
+    Execution states (Definition 2) and convex subgraphs (Definition 1)
+    are node sets; the kernel identifier manipulates thousands of them, so
+    a compact representation with O(words) set algebra and fast
+    hash/compare matters. All operations are persistent ([add] returns a
+    new set). *)
+
+type t
+
+(** [empty width] — the empty set over a universe of [width] nodes. All
+    arguments to binary operations must share the same width. *)
+val empty : int -> t
+
+(** [full width] — the universe set. *)
+val full : int -> t
+
+(** [of_list width l] — build from a list of indices (duplicates fine). *)
+val of_list : int -> int list -> t
+
+(** Membership test. Raises [Invalid_argument] out of bounds. *)
+val mem : t -> int -> bool
+
+val add : t -> int -> t
+val remove : t -> int -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+
+(** [diff a b] — set difference [a \ b] (Theorem 1's kernel constructor). *)
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+(** [subset a b] — [a ⊆ b]. *)
+val subset : t -> t -> bool
+
+val is_empty : t -> bool
+val cardinal : t -> int
+
+(** Iteration in increasing index order. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Members in increasing order. *)
+val elements : t -> int list
+
+val hash : t -> int
+val to_string : t -> string
+
+(** First-class hashtable key module and a prebuilt hashtable. *)
+module Key : Hashtbl.HashedType with type t = t
+
+module Table : Hashtbl.S with type key = t

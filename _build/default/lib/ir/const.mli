@@ -1,0 +1,36 @@
+(** Constant tensor specifications.
+
+    Model weights and transformation-introduced constants (e.g. the
+    all-ones vector that turns ReduceSum into a MatMul, §3/Figure 2) are
+    described symbolically so cost-model-only pipelines never allocate
+    paper-scale tensors; the executor materializes them on demand. *)
+
+open Tensor
+
+type fill =
+  | Zeros
+  | Ones
+  | Value of float  (** constant fill *)
+  | Randn of int  (** deterministic standard-normal data from a seed *)
+  | Randn_scaled of int * float  (** seeded normal data times a factor *)
+  | Data of Nd.t  (** explicit payload *)
+
+type t = { shape : Shape.t; fill : fill }
+
+val zeros : Shape.t -> t
+val ones : Shape.t -> t
+val value : Shape.t -> float -> t
+val randn : Shape.t -> int -> t
+
+(** [randn_scaled shape seed scale] — e.g. 1/√fan-in initialisation. *)
+val randn_scaled : Shape.t -> int -> float -> t
+
+val of_nd : Nd.t -> t
+
+(** Produce the concrete tensor (deterministic for seeded fills). *)
+val materialize : t -> Nd.t
+
+(** Structural equality; [Data] payloads compare elementwise. *)
+val equal : t -> t -> bool
+
+val to_string : t -> string

@@ -1,0 +1,31 @@
+(** Operator-level computation graphs (the optimizer input, Figure 1). *)
+
+type t = Optype.t Graph.t
+
+let pp = Graph.pp Optype.pp
+
+(** Builder with automatic shape inference. *)
+module B = struct
+  type b = Optype.t Graph.Builder.t
+
+  let create () : b = Graph.Builder.create ()
+
+  (** [input b name shape] adds a named graph input. *)
+  let input b name shape = Graph.Builder.add b (Optype.Input name) [] shape
+
+  (** [const b c] embeds a constant. *)
+  let const b (c : Const.t) = Graph.Builder.add b (Optype.Constant c) [] c.Const.shape
+
+  (** [randn_weight b shape seed] embeds a deterministic random weight. *)
+  let randn_weight b shape seed = const b (Const.randn shape seed)
+
+  (** [add b op inputs] appends an operator node, inferring its shape. *)
+  let add (b : b) (op : Optype.t) (inputs : int list) : int =
+    let shapes = List.map (Graph.Builder.shape_of b) inputs in
+    let shape = Shape_infer.op op shapes in
+    Graph.Builder.add b op inputs shape
+
+  let shape_of = Graph.Builder.shape_of
+  let set_outputs = Graph.Builder.set_outputs
+  let finish = Graph.Builder.finish
+end

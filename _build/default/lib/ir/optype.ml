@@ -1,0 +1,109 @@
+(** Operator-level vocabulary for computation graphs.
+
+    This is the representation existing frameworks fuse at (§1): nodes are
+    whole DNN operators (Softmax, InstanceNorm, Conv, ...). Korch's
+    operator fission engine (lib/fission) lowers these to
+    {!Primitive.t} graphs. *)
+
+open Tensor
+
+type t =
+  | Input of string
+  | Constant of Const.t
+  (* Activations and unary elementwise operators *)
+  | Relu
+  | LeakyRelu of float
+  | Sigmoid
+  | Silu
+  | Mish
+  | Tanh
+  | Gelu  (** decomposed by fission into erf-based elementwise chain *)
+  | Erf
+  | Exp
+  | Log
+  | Sqrt
+  | Neg
+  | Square
+  (* Binary elementwise *)
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow
+  (* Composite / normalization operators (fission targets) *)
+  | Softmax of int  (** softmax along the given axis *)
+  | InstanceNorm of float  (** per-channel spatial normalization, NCHW, eps *)
+  | LayerNorm of float  (** normalization over the last axis, eps *)
+  | BatchNormInference of float
+      (** inference-mode batch norm: inputs x, scale, bias, mean, var *)
+  (* Reductions *)
+  | ReduceSum of { axis : int; keepdims : bool }
+  | ReduceMean of { axis : int; keepdims : bool }
+  | ReduceMax of { axis : int; keepdims : bool }
+  | MaxPool of { kernel : int * int; stride : int * int; padding : int * int }
+  | AvgPool of { kernel : int * int; stride : int * int; padding : int * int }
+  | GlobalAvgPool
+  (* Layout *)
+  | Transpose of int array
+  | Reshape of Shape.t
+  | Pad of { before : int array; after : int array; value : float }
+  | Slice of { starts : int array; stops : int array }
+  | Concat of int
+  (* Linear *)
+  | MatMul  (** 2-d or broadcast-batched matrix multiplication *)
+  | Conv of { stride : int * int; padding : int * int; bias : bool }
+      (** inputs: x, weight[, bias] *)
+  | Upsample of int
+  (* Opaque *)
+  | TopK of int  (** kept opaque, §3 "Supporting new operators" *)
+
+let to_string : t -> string = function
+  | Input name -> Printf.sprintf "Input(%s)" name
+  | Constant c -> Const.to_string c
+  | Relu -> "Relu"
+  | LeakyRelu a -> Printf.sprintf "LeakyRelu(%g)" a
+  | Sigmoid -> "Sigmoid"
+  | Silu -> "Silu"
+  | Mish -> "Mish"
+  | Tanh -> "Tanh"
+  | Gelu -> "Gelu"
+  | Erf -> "Erf"
+  | Exp -> "Exp"
+  | Log -> "Log"
+  | Sqrt -> "Sqrt"
+  | Neg -> "Neg"
+  | Square -> "Square"
+  | Add -> "Add"
+  | Sub -> "Sub"
+  | Mul -> "Mul"
+  | Div -> "Div"
+  | Pow -> "Pow"
+  | Softmax ax -> Printf.sprintf "Softmax(axis=%d)" ax
+  | InstanceNorm eps -> Printf.sprintf "InstanceNorm(eps=%g)" eps
+  | LayerNorm eps -> Printf.sprintf "LayerNorm(eps=%g)" eps
+  | BatchNormInference eps -> Printf.sprintf "BatchNorm(eps=%g)" eps
+  | ReduceSum r -> Printf.sprintf "ReduceSum(axis=%d,keepdims=%b)" r.axis r.keepdims
+  | ReduceMean r -> Printf.sprintf "ReduceMean(axis=%d,keepdims=%b)" r.axis r.keepdims
+  | ReduceMax r -> Printf.sprintf "ReduceMax(axis=%d,keepdims=%b)" r.axis r.keepdims
+  | MaxPool p ->
+    let kh, kw = p.kernel in
+    Printf.sprintf "MaxPool(%dx%d)" kh kw
+  | AvgPool p ->
+    let kh, kw = p.kernel in
+    Printf.sprintf "AvgPool(%dx%d)" kh kw
+  | GlobalAvgPool -> "GlobalAvgPool"
+  | Transpose perm ->
+    Printf.sprintf "Transpose(%s)"
+      (String.concat "," (Array.to_list (Array.map string_of_int perm)))
+  | Reshape s -> Printf.sprintf "Reshape%s" (Shape.to_string s)
+  | Pad _ -> "Pad"
+  | Slice _ -> "Slice"
+  | Concat ax -> Printf.sprintf "Concat(axis=%d)" ax
+  | MatMul -> "MatMul"
+  | Conv c ->
+    let sh, sw = c.stride and ph, pw = c.padding in
+    Printf.sprintf "Conv(s=%dx%d,p=%dx%d%s)" sh sw ph pw (if c.bias then ",bias" else "")
+  | Upsample s -> Printf.sprintf "Upsample(x%d)" s
+  | TopK k -> Printf.sprintf "TopK(%d)" k
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

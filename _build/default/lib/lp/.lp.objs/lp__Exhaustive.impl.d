@@ -1,0 +1,1 @@
+lib/lp/exhaustive.ml: Array Float Ilp

@@ -1,0 +1,26 @@
+(** Brute-force binary program solver — the test oracle for {!Ilp}.
+
+    Enumerates all 2^n assignments; only usable for small n (tests cap at
+    n <= 20). *)
+
+(** [solve p] returns the optimal binary assignment and objective, or
+    [None] when infeasible. Raises [Invalid_argument] above 25 variables. *)
+let solve (p : Ilp.problem) : (int array * float) option =
+  let n = Array.length p.Ilp.minimize in
+  if n > 25 then invalid_arg "Exhaustive.solve: too many variables";
+  let best = ref None in
+  let best_obj = ref Float.infinity in
+  let x = Array.make n 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    for j = 0 to n - 1 do
+      x.(j) <- (mask lsr j) land 1
+    done;
+    if Ilp.is_feasible_binary p x then begin
+      let obj = Ilp.objective_of p x in
+      if obj < !best_obj then begin
+        best_obj := obj;
+        best := Some (Array.copy x)
+      end
+    end
+  done;
+  match !best with None -> None | Some x -> Some (x, !best_obj)

@@ -1,0 +1,7 @@
+(** Brute-force binary program solver — the test oracle for {!Ilp}. *)
+
+(** [solve p] enumerates all [2^n] assignments and returns an optimal one
+    with its objective, or [None] when the instance is infeasible.
+
+    Raises [Invalid_argument] above 25 variables (the tests cap at 20). *)
+val solve : Ilp.problem -> (int array * float) option

@@ -1,0 +1,266 @@
+(** Binary integer linear programming by branch-and-bound over LP
+    relaxations (the "off-the-shelf BLP solver" role, §4.2/§5.2).
+
+    Variables are binary. The LP relaxation drops integrality but keeps
+    [x >= 0]; for Korch's orchestration constraints (covering rows and
+    dependency rows with unit coefficients and positive costs) the
+    relaxation always admits an optimal solution with [x <= 1], so explicit
+    upper-bound rows are unnecessary. *)
+
+type problem = {
+  minimize : float array;
+  rows : (float array * Simplex.relation * float) list;
+}
+
+type status = Optimal | TimeLimit | Infeasible
+
+type solution = { x : int array; objective : float; status : status; nodes_explored : int }
+
+let integrality_eps = 1e-6
+
+(* Build the reduced LP where variables in [fixed] (>= 0) are substituted. *)
+let reduced_lp_rows (minimize : float array)
+    (rows : (float array * Simplex.relation * float) list) (fixed : int array) :
+    Simplex.problem * int array * float =
+  let n = Array.length minimize in
+  let free = ref [] in
+  for j = n - 1 downto 0 do
+    if fixed.(j) < 0 then free := j :: !free
+  done;
+  let free = Array.of_list !free in
+  let nf = Array.length free in
+  let reduced_minimize = Array.init nf (fun i -> minimize.(free.(i))) in
+  let fixed_cost = ref 0.0 in
+  for j = 0 to n - 1 do
+    if fixed.(j) = 1 then fixed_cost := !fixed_cost +. minimize.(j)
+  done;
+  let out_rows =
+    List.filter_map
+      (fun (coeffs, rel, b) ->
+        let b' = ref b in
+        for j = 0 to n - 1 do
+          if fixed.(j) = 1 then b' := !b' -. coeffs.(j)
+        done;
+        let row = Array.init nf (fun i -> coeffs.(free.(i))) in
+        let trivially_zero = Array.for_all (fun v -> Float.abs v < 1e-12) row in
+        if trivially_zero then begin
+          let ok =
+            match rel with
+            | Simplex.Ge -> 0.0 >= !b' -. 1e-9
+            | Le -> 0.0 <= !b' +. 1e-9
+            | Eq -> Float.abs !b' <= 1e-9
+          in
+          if ok then None else Some (Array.make nf 0.0, Simplex.Eq, 1.0)
+        end
+        else Some (row, rel, !b'))
+      rows
+  in
+  ({ Simplex.minimize = reduced_minimize; rows = out_rows }, free, !fixed_cost)
+
+(* Convenience wrapper kept for testing/debugging single nodes. *)
+let _reduced_lp (p : problem) (fixed : int array) :
+    Simplex.problem * int array (* free index -> original index *) * float (* fixed cost *) =
+  reduced_lp_rows p.minimize p.rows fixed
+
+let is_feasible_binary (p : problem) (x : int array) : bool =
+  List.for_all
+    (fun (coeffs, rel, b) ->
+      let lhs = ref 0.0 in
+      Array.iteri (fun j c -> lhs := !lhs +. (c *. float_of_int x.(j))) coeffs;
+      match rel with
+      | Simplex.Ge -> !lhs >= b -. 1e-9
+      | Le -> !lhs <= b +. 1e-9
+      | Eq -> Float.abs (!lhs -. b) <= 1e-9)
+    p.rows
+
+let objective_of (p : problem) (x : int array) : float =
+  let o = ref 0.0 in
+  Array.iteri (fun j c -> o := !o +. (c *. float_of_int x.(j))) p.minimize;
+  !o
+
+(** [solve ?time_limit_s ?max_nodes ?rel_gap ?abs_gap ?lazy_dependencies
+    ?warm_start p] — minimization by branch-and-bound. [warm_start] seeds
+    the incumbent with a known feasible assignment (infeasible seeds are
+    ignored). [rel_gap]/[abs_gap] prune nodes whose LP bound is within the
+    given distance of the incumbent — 0 gives a proof of optimality, small
+    positive values trade a bounded suboptimality for far fewer nodes.
+    Exact (up to the gaps) unless the node or time budget is hit, in which
+    case the best incumbent (if any) is returned with [TimeLimit] status.
+
+    With [lazy_dependencies] the
+    homogeneous covering rows ([>= 0], Korch's Eq. 4 dependency
+    constraints) start outside the LP and are activated lazily when an
+    integral candidate violates them: most are slack at the optimum, and
+    dropping them shrinks each LP dramatically. Bounds from the reduced
+    LPs remain valid (a relaxation of a relaxation). *)
+let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_gap = 0.0)
+    ?(lazy_dependencies = false) ?(warm_start : int array option) (p : problem) :
+    solution option =
+  let n = Array.length p.minimize in
+  let start = Sys.time () in
+  let incumbent = ref None in
+  let incumbent_obj = ref Float.infinity in
+  (match warm_start with
+  | Some x when Array.length x = n && is_feasible_binary p x ->
+    incumbent := Some (Array.copy x);
+    incumbent_obj := objective_of p x
+  | _ -> ());
+  let all_rows = Array.of_list p.rows in
+  let row_active =
+    Array.map
+      (fun (_, rel, b) ->
+        not (lazy_dependencies && rel = Simplex.Ge && Float.abs b <= 1e-12))
+      all_rows
+  in
+  let pool_version = ref 0 in
+  let cached_version = ref (-1) in
+  let cached_rows = ref [] in
+  let active_rows () =
+    if !cached_version <> !pool_version then begin
+      cached_rows :=
+        Array.to_list all_rows
+        |> List.filteri (fun i _ -> row_active.(i));
+      cached_version := !pool_version
+    end;
+    !cached_rows
+  in
+  (* Inactive rows violated by a (possibly fractional) point. *)
+  let violated_rows_float (x : float array) =
+    let out = ref [] in
+    Array.iteri
+      (fun i (coeffs, rel, b) ->
+        if not row_active.(i) then begin
+          let lhs = ref 0.0 in
+          Array.iteri (fun j c -> lhs := !lhs +. (c *. x.(j))) coeffs;
+          let ok =
+            match rel with
+            | Simplex.Ge -> !lhs >= b -. 1e-7
+            | Le -> !lhs <= b +. 1e-7
+            | Eq -> Float.abs (!lhs -. b) <= 1e-7
+          in
+          if not ok then out := i :: !out
+        end)
+      all_rows;
+    !out
+  in
+  (* Solve the node LP, separating violated lazy rows against each
+     fractional optimum until none remain: the final bound equals the
+     full-row LP bound while the active pool stays small. *)
+  let solve_node_lp fixed =
+    let rec go rounds =
+      let lp, free, fixed_cost = reduced_lp_rows p.minimize (active_rows ()) fixed in
+      match Simplex.solve lp with
+      | Simplex.Optimal sol when rounds < 50 ->
+        let xf = Array.make n 0.0 in
+        Array.iteri (fun j v -> if v = 1 then xf.(j) <- 1.0) fixed;
+        Array.iteri (fun i v -> xf.(free.(i)) <- v) sol.Simplex.x;
+        (match violated_rows_float xf with
+        | [] -> (Simplex.Optimal sol, free, fixed_cost)
+        | viol ->
+          List.iter (fun i -> row_active.(i) <- true) viol;
+          incr pool_version;
+          go (rounds + 1))
+      | outcome -> (outcome, free, fixed_cost)
+    in
+    go 0
+  in
+  let nodes = ref 0 in
+  let timed_out = ref false in
+  (* DFS stack of fixing vectors. *)
+  let stack = Stack.create () in
+  Stack.push (Array.make n (-1)) stack;
+  while (not (Stack.is_empty stack)) && not !timed_out do
+    if Sys.time () -. start > time_limit_s || !nodes > max_nodes then
+      timed_out := true
+    else begin
+      let fixed = Stack.pop stack in
+      incr nodes;
+      match solve_node_lp fixed with
+      | Simplex.Infeasible, _, _ -> ()
+      | Unbounded, _, _ ->
+        (* Cannot happen for covering objectives; if a partial row pool
+           caused it, activate everything and retry this node once. *)
+        let changed = ref false in
+        Array.iteri
+          (fun i act ->
+            if not act then begin
+              row_active.(i) <- true;
+              changed := true
+            end)
+          row_active;
+        if !changed then begin
+          incr pool_version;
+          Stack.push fixed stack
+        end
+      | Optimal sol, free, fixed_cost ->
+        let bound = sol.Simplex.objective +. fixed_cost in
+        let prune_threshold =
+          if Float.is_finite !incumbent_obj then
+            !incumbent_obj
+            -. Float.max 1e-9 (Float.max abs_gap (rel_gap *. Float.abs !incumbent_obj))
+          else Float.infinity
+        in
+        if bound < prune_threshold then begin
+          (* Branch on the fractional variable with the largest
+             fractionality-weighted cost: high-impact decisions first. *)
+          let frac_j = ref (-1) in
+          let frac_score = ref 0.0 in
+          Array.iteri
+            (fun i v ->
+              let d = Float.abs (v -. Float.round v) in
+              if d > integrality_eps then begin
+                let score = d *. (1.0 +. Float.abs p.minimize.(free.(i))) in
+                if score > !frac_score then begin
+                  frac_score := score;
+                  frac_j := free.(i)
+                end
+              end)
+            sol.Simplex.x;
+          if !frac_j < 0 then begin
+            (* Integral: candidate incumbent. *)
+            let x = Array.make n 0 in
+            Array.iteri (fun j v -> if v = 1 then x.(j) <- 1) fixed;
+            Array.iteri
+              (fun i v -> x.(free.(i)) <- (if v > 0.5 then 1 else 0))
+              sol.Simplex.x;
+            if is_feasible_binary p x then begin
+              let obj = objective_of p x in
+              if obj < !incumbent_obj then begin
+                incumbent_obj := obj;
+                incumbent := Some x
+              end
+            end
+            else begin
+              (* Violates rows outside the active pool: activate them and
+                 re-solve this node with the richer LP. *)
+              match violated_rows_float (Array.map float_of_int x) with
+              | [] -> () (* violates an active row: numerically impossible *)
+              | viol ->
+                List.iter (fun i -> row_active.(i) <- true) viol;
+                incr pool_version;
+                Stack.push fixed stack
+            end
+          end
+          else begin
+            let j = !frac_j in
+            let zero = Array.copy fixed and one = Array.copy fixed in
+            zero.(j) <- 0;
+            one.(j) <- 1;
+            (* Explore the x_j = 1 branch first: for covering problems it
+               reaches feasible incumbents quickly. *)
+            Stack.push zero stack;
+            Stack.push one stack
+          end
+        end
+    end
+  done;
+  match !incumbent with
+  | None -> if !timed_out then None else Some { x = [||]; objective = 0.0; status = Infeasible; nodes_explored = !nodes }
+  | Some x ->
+    Some
+      {
+        x;
+        objective = !incumbent_obj;
+        status = (if !timed_out then TimeLimit else Optimal);
+        nodes_explored = !nodes;
+      }

@@ -1,0 +1,244 @@
+(** Two-phase primal simplex for linear programs in inequality form.
+
+    Minimize [c . x] subject to rows [a_i . x (>=|<=|=) b_i] and [x >= 0].
+    Dense tableau implementation with Dantzig pricing and a Bland's-rule
+    anti-cycling fallback. This is the LP-relaxation engine behind the
+    binary-linear-programming solver (the paper uses PuLP/CBC, §5.2). *)
+
+type relation = Ge | Le | Eq
+
+type problem = {
+  minimize : float array;  (** objective coefficients, length n *)
+  rows : (float array * relation * float) list;  (** constraint rows *)
+}
+
+type solution = { x : float array; objective : float }
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+let eps = 1e-9
+
+(* The tableau holds [m] constraint rows in equality form over columns
+   [0 .. total_cols-1] plus the RHS column; [basis.(r)] is the column basic
+   in row [r]. Row operations keep RHS nonnegative. *)
+type tableau = {
+  m : int;
+  total : int;
+  a : float array array;  (* m rows, total+1 cols (last = rhs) *)
+  basis : int array;
+  cost : float array;  (* length total: current phase objective *)
+}
+
+let pivot (t : tableau) ~(row : int) ~(col : int) =
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  for j = 0 to t.total do
+    arow.(j) <- arow.(j) /. p
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if Float.abs f > 0.0 then begin
+        let ai = t.a.(i) in
+        for j = 0 to t.total do
+          ai.(j) <- ai.(j) -. (f *. arow.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced cost of column j given current basis: c_j - c_B . B^-1 A_j,
+   maintained explicitly in [z] below instead; we recompute reduced costs
+   per iteration from the cost row which we carry as a dense vector. *)
+let run_phase (t : tableau) : [ `Optimal | `Unbounded ] =
+  (* Maintain the objective row [z]: reduced costs; z.(total) = -objective. *)
+  let z = Array.make (t.total + 1) 0.0 in
+  Array.blit t.cost 0 z 0 t.total;
+  (* Make reduced costs of basic columns zero. *)
+  for r = 0 to t.m - 1 do
+    let cb = z.(t.basis.(r)) in
+    if Float.abs cb > 0.0 then begin
+      let ar = t.a.(r) in
+      for j = 0 to t.total do
+        z.(j) <- z.(j) -. (cb *. ar.(j))
+      done
+    end
+  done;
+  let iter = ref 0 in
+  let max_dantzig = 20 * (t.m + t.total) in
+  let result = ref None in
+  while !result = None do
+    incr iter;
+    let bland = !iter > max_dantzig in
+    (* Entering column: most negative reduced cost (Dantzig), or first
+       negative (Bland) once the iteration budget suggests cycling. *)
+    let enter = ref (-1) in
+    let best = ref (-.eps) in
+    (try
+       for j = 0 to t.total - 1 do
+         if z.(j) < -.eps then
+           if bland then begin
+             enter := j;
+             raise Exit
+           end
+           else if z.(j) < !best then begin
+             best := z.(j);
+             enter := j
+           end
+       done
+     with Exit -> ());
+    if !enter < 0 then result := Some `Optimal
+    else begin
+      let col = !enter in
+      (* Leaving row: min ratio test; Bland tie-break on basis index. *)
+      let leave = ref (-1) in
+      let best_ratio = ref Float.infinity in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(col) in
+        if aij > eps then begin
+          let ratio = t.a.(i).(t.total) /. aij in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps && !leave >= 0
+                && t.basis.(i) < t.basis.(!leave))
+          then begin
+            best_ratio := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then result := Some `Unbounded
+      else begin
+        let row = !leave in
+        (* Update the z row alongside the pivot: after the pivot the row is
+           normalized (pivot element 1), so z := z - z.(col) * new_row. *)
+        let zc = z.(col) in
+        pivot t ~row ~col;
+        let ar = t.a.(row) in
+        for j = 0 to t.total do
+          z.(j) <- z.(j) -. (zc *. ar.(j))
+        done
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let solve (p : problem) : outcome =
+  let n = Array.length p.minimize in
+  let rows = Array.of_list p.rows in
+  let m = Array.length rows in
+  (* Normalize rows to equality form with nonnegative RHS. Column layout:
+     [0..n-1] structural, [n..n+m-1] slack/surplus (0 coeff for Eq rows),
+     then one artificial column per row that needs one (Eq rows and Ge rows
+     with positive RHS after sign normalization). *)
+  let needs_artificial (coeffs, rel, b) =
+    let sign_neg = b < 0.0 in
+    let rel = if sign_neg then (match rel with Ge -> Le | Le -> Ge | Eq -> Eq) else rel in
+    let rhs = Float.abs b in
+    ignore coeffs;
+    match rel with Le -> false | Eq -> true | Ge -> rhs > eps
+  in
+  let n_artificial = Array.fold_left (fun acc r -> if needs_artificial r then acc + 1 else acc) 0 rows in
+  let total = n + m + n_artificial in
+  let a = Array.make_matrix m (total + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let artificial_used = ref [] in
+  let next_artificial = ref (n + m) in
+  Array.iteri
+    (fun i (coeffs, rel, b) ->
+      if Array.length coeffs <> n then invalid_arg "Simplex.solve: row width mismatch";
+      let sign = if b < 0.0 then -1.0 else 1.0 in
+      for j = 0 to n - 1 do
+        a.(i).(j) <- sign *. coeffs.(j)
+      done;
+      a.(i).(total) <- sign *. b;
+      let rel = if sign < 0.0 then (match rel with Ge -> Le | Le -> Ge | Eq -> Eq) else rel in
+      (match rel with
+      | Le -> a.(i).(n + i) <- 1.0
+      | Ge -> a.(i).(n + i) <- -1.0
+      | Eq -> ());
+      (* Choose initial basis: slack if it can be basic with value >= 0. *)
+      match rel with
+      | Le -> basis.(i) <- n + i
+      | Ge when a.(i).(total) <= eps ->
+        (* Negating the row turns the surplus coefficient positive so it
+           can be basic at value 0. *)
+        let r = a.(i) in
+        for j = 0 to total do
+          r.(j) <- -.r.(j)
+        done;
+        basis.(i) <- n + i
+      | Ge | Eq ->
+        let art = !next_artificial in
+        incr next_artificial;
+        a.(i).(art) <- 1.0;
+        basis.(i) <- art;
+        artificial_used := art :: !artificial_used)
+    rows;
+  let t = { m; total; a; basis; cost = Array.make total 0.0 } in
+  (* Phase 1: minimize the sum of artificials, when any exist. *)
+  let feasible =
+    if !artificial_used = [] then true
+    else begin
+      Array.fill t.cost 0 total 0.0;
+      List.iter (fun j -> t.cost.(j) <- 1.0) !artificial_used;
+      match run_phase t with
+      | `Unbounded -> false (* cannot happen: phase-1 objective bounded below by 0 *)
+      | `Optimal ->
+        let obj =
+          List.fold_left
+            (fun acc j ->
+              (* Value of artificial j: rhs of its row if basic, else 0. *)
+              let v = ref 0.0 in
+              for i = 0 to m - 1 do
+                if t.basis.(i) = j then v := t.a.(i).(total)
+              done;
+              acc +. !v)
+            0.0 !artificial_used
+        in
+        obj <= 1e-6
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    (* Drive any remaining basic artificials out (degenerate): pivot on any
+       nonzero structural column in that row, or drop the redundant row by
+       leaving the artificial basic at value 0. *)
+    List.iter
+      (fun art ->
+        for i = 0 to m - 1 do
+          if t.basis.(i) = art then begin
+            let found = ref false in
+            for j = 0 to n + m - 1 do
+              if (not !found) && Float.abs t.a.(i).(j) > 1e-7 then begin
+                pivot t ~row:i ~col:j;
+                found := true
+              end
+            done
+          end
+        done)
+      !artificial_used;
+    (* Forbid artificials from re-entering. *)
+    List.iter
+      (fun art ->
+        for i = 0 to m - 1 do
+          t.a.(i).(art) <- 0.0
+        done)
+      !artificial_used;
+    (* Phase 2: original objective. *)
+    Array.fill t.cost 0 total 0.0;
+    Array.blit p.minimize 0 t.cost 0 n;
+    match run_phase t with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let x = Array.make n 0.0 in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < n then x.(t.basis.(i)) <- t.a.(i).(total)
+      done;
+      let objective = ref 0.0 in
+      for j = 0 to n - 1 do
+        objective := !objective +. (p.minimize.(j) *. x.(j))
+      done;
+      Optimal { x; objective = !objective }
+  end

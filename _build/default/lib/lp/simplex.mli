@@ -1,0 +1,40 @@
+(** Two-phase primal simplex for linear programs in inequality form.
+
+    This is the LP-relaxation engine behind the binary-linear-programming
+    solver ({!Ilp}) that plays the role of PuLP/CBC in the paper (§5.2).
+
+    The implementation is a dense-tableau two-phase primal simplex:
+    phase 1 minimizes the sum of artificial variables (only rows that need
+    one — equalities and [>=] rows with positive right-hand side after
+    sign normalization — get an artificial column); phase 2 optimizes the
+    original objective. Pricing is Dantzig's rule with an automatic switch
+    to Bland's anti-cycling rule when an iteration budget suggests
+    degeneracy-induced cycling. *)
+
+(** Row relation: [a . x >= b], [a . x <= b] or [a . x = b]. *)
+type relation = Ge | Le | Eq
+
+type problem = {
+  minimize : float array;  (** objective coefficients, one per variable *)
+  rows : (float array * relation * float) list;
+      (** constraint rows; each coefficient vector must have the same
+          width as {!field-minimize} *)
+}
+
+type solution = {
+  x : float array;  (** an optimal vertex (nonnegative variables) *)
+  objective : float;  (** objective value at [x] *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible  (** phase 1 could not drive the artificials to zero *)
+  | Unbounded  (** some improving ray has no blocking constraint *)
+
+(** [solve p] minimizes [p.minimize . x] subject to [p.rows] and [x >= 0].
+
+    Raises [Invalid_argument] if a row's width differs from the
+    objective's. Upper bounds on variables must be encoded as [Le] rows
+    when needed; the orchestration BLPs of {!module:Korch} never need
+    them (see the note in [lib/lp/ilp.ml]). *)
+val solve : problem -> outcome

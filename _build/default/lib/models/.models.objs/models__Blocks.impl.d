@@ -1,0 +1,1 @@
+lib/models/blocks.ml: Array Const Fun Ir Opgraph Optype

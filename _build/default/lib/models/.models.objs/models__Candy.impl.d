@@ -1,0 +1,1 @@
+lib/models/candy.ml: Blocks Ir Opgraph Optype

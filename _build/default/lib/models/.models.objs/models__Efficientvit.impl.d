@@ -1,0 +1,1 @@
+lib/models/efficientvit.ml: Array Blocks Ir Opgraph Optype

@@ -1,0 +1,1 @@
+lib/models/registry.ml: Candy Efficientvit Ir List Opgraph Segformer Yolov4 Yolox

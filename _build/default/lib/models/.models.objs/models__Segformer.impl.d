@@ -1,0 +1,1 @@
+lib/models/segformer.ml: Array Blocks Const Ir List Opgraph Optype

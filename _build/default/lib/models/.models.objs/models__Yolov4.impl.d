@@ -1,0 +1,1 @@
+lib/models/yolov4.ml: Blocks Ir Opgraph Optype

@@ -1,0 +1,1 @@
+lib/models/yolox.ml: Array Blocks Ir Opgraph Optype

@@ -1,0 +1,140 @@
+(** Reusable network building blocks for the model zoo.
+
+    All builders thread a seed counter so weights are deterministic and
+    models are reproducible across runs. *)
+
+open Ir
+
+type ctx = { b : Opgraph.B.b; mutable seed : int }
+
+let create () = { b = Opgraph.B.create (); seed = 1000 }
+
+let fresh_seed ctx =
+  ctx.seed <- ctx.seed + 1;
+  ctx.seed
+
+(** [weight ctx shape] — deterministic random weight constant with
+    1/sqrt(fan-in) scaling so activations stay O(1) through deep stacks
+    (keeps the semantic-equivalence tests numerically meaningful). *)
+let weight ctx shape =
+  let fan_in =
+    match Array.length shape with
+    | 4 -> shape.(1) * shape.(2) * shape.(3) (* OIHW conv *)
+    | 2 -> shape.(0) (* [in x out] matmul weight *)
+    | _ -> 16 (* biases and per-channel params: keep them small *)
+  in
+  let scale = 1.0 /. sqrt (float_of_int (max 1 fan_in)) in
+  Opgraph.B.const ctx.b (Const.randn_scaled shape (fresh_seed ctx) scale)
+
+type act = [ `Relu | `LeakyRelu of float | `Silu | `Mish | `Gelu | `Tanh | `Sigmoid | `None ]
+
+let activation ctx (a : act) x =
+  match a with
+  | `Relu -> Opgraph.B.add ctx.b Optype.Relu [ x ]
+  | `LeakyRelu alpha -> Opgraph.B.add ctx.b (Optype.LeakyRelu alpha) [ x ]
+  | `Silu -> Opgraph.B.add ctx.b Optype.Silu [ x ]
+  | `Mish -> Opgraph.B.add ctx.b Optype.Mish [ x ]
+  | `Gelu -> Opgraph.B.add ctx.b Optype.Gelu [ x ]
+  | `Tanh -> Opgraph.B.add ctx.b Optype.Tanh [ x ]
+  | `Sigmoid -> Opgraph.B.add ctx.b Optype.Sigmoid [ x ]
+  | `None -> x
+
+(** [conv ctx x ~out_c ~k ~stride ~padding ~bias] — convolution with fresh
+    weights; input must be NCHW. *)
+let conv ctx x ~out_c ~k ~stride ~padding ?(bias = true) () =
+  let s = Opgraph.B.shape_of ctx.b x in
+  let in_c = s.(1) in
+  let w = weight ctx [| out_c; in_c; k; k |] in
+  let inputs = [ x; w ] in
+  let inputs = if bias then inputs @ [ weight ctx [| out_c |] ] else inputs in
+  Opgraph.B.add ctx.b
+    (Optype.Conv { stride = (stride, stride); padding = (padding, padding); bias })
+    inputs
+
+(** [conv_in_act] — the Candy-style Conv + InstanceNorm + activation. *)
+let conv_in_act ctx x ~out_c ~k ~stride ~padding ~act =
+  let c = conv ctx x ~out_c ~k ~stride ~padding ~bias:false () in
+  let n = Opgraph.B.add ctx.b (Optype.InstanceNorm 1e-5) [ c ] in
+  activation ctx act n
+
+(** [conv_bn_act] — Conv + inference BatchNorm + activation (YOLO-style). *)
+let conv_bn_act ctx x ~out_c ~k ~stride ~padding ~act =
+  let c = conv ctx x ~out_c ~k ~stride ~padding ~bias:false () in
+  let scale = weight ctx [| out_c |] in
+  let bias = weight ctx [| out_c |] in
+  let mean = Opgraph.B.const ctx.b (Const.zeros [| out_c |]) in
+  let var = Opgraph.B.const ctx.b (Const.ones [| out_c |]) in
+  let n = Opgraph.B.add ctx.b (Optype.BatchNormInference 1e-5) [ c; scale; bias; mean; var ] in
+  activation ctx act n
+
+(** [linear ctx x ~out_f] — last-axis linear layer via MatMul + bias add. *)
+let linear ctx x ~out_f =
+  let s = Opgraph.B.shape_of ctx.b x in
+  let in_f = s.(Array.length s - 1) in
+  let w = weight ctx [| in_f; out_f |] in
+  let y = Opgraph.B.add ctx.b Optype.MatMul [ x; w ] in
+  let bias = weight ctx [| out_f |] in
+  Opgraph.B.add ctx.b Optype.Add [ y; bias ]
+
+(** [layer_norm ctx x] — LayerNorm with affine parameters over the last
+    axis. *)
+let layer_norm ctx x =
+  let s = Opgraph.B.shape_of ctx.b x in
+  let d = s.(Array.length s - 1) in
+  let scale = weight ctx [| d |] in
+  let bias = weight ctx [| d |] in
+  Opgraph.B.add ctx.b (Optype.LayerNorm 1e-5) [ x; scale; bias ]
+
+(** [softmax_attention ctx q k v] — standard scaled dot-product attention
+    over [B? x N x d] operands ([k]/[v] share [q]'s batch shape). *)
+let softmax_attention ctx q k v =
+  let sq = Opgraph.B.shape_of ctx.b q in
+  let r = Array.length sq in
+  let d = float_of_int sq.(r - 1) in
+  let perm = Array.init r Fun.id in
+  perm.(r - 1) <- r - 2;
+  perm.(r - 2) <- r - 1;
+  let kt = Opgraph.B.add ctx.b (Optype.Transpose perm) [ k ] in
+  let scores = Opgraph.B.add ctx.b Optype.MatMul [ q; kt ] in
+  let scale = Opgraph.B.const ctx.b (Const.value [||] (1.0 /. sqrt d)) in
+  let scaled = Opgraph.B.add ctx.b Optype.Mul [ scores; scale ] in
+  let probs = Opgraph.B.add ctx.b (Optype.Softmax (r - 1)) [ scaled ] in
+  Opgraph.B.add ctx.b Optype.MatMul [ probs; v ]
+
+(** [relu_linear_attention ctx q k v] — EfficientViT's ReLU linear
+    attention: [relu(q) @ (relu(k)^T @ v) / (relu(q) @ sum(relu(k)^T))].
+    The normalizer is a ReduceSum the primitive-graph optimizer can turn
+    into a MatMul and merge (Figure 9). *)
+let relu_linear_attention ctx q k v =
+  let b = ctx.b in
+  let sq = Opgraph.B.shape_of ctx.b q in
+  let r = Array.length sq in
+  let perm = Array.init r Fun.id in
+  perm.(r - 1) <- r - 2;
+  perm.(r - 2) <- r - 1;
+  let qr = Opgraph.B.add b Optype.Relu [ q ] in
+  let kr = Opgraph.B.add b Optype.Relu [ k ] in
+  let krt = Opgraph.B.add b (Optype.Transpose perm) [ kr ] in
+  (* context: d x d matrix (small) *)
+  let context = Opgraph.B.add b Optype.MatMul [ krt; v ] in
+  let numer = Opgraph.B.add b Optype.MatMul [ qr; context ] in
+  (* normalizer: qr @ rowsum(krt) = qr @ (krt @ ones) *)
+  let ksum = Opgraph.B.add b (Optype.ReduceSum { axis = r - 1; keepdims = true }) [ krt ] in
+  let denom = Opgraph.B.add b Optype.MatMul [ qr; ksum ] in
+  let eps = Opgraph.B.const ctx.b (Const.value [||] 1e-6) in
+  let denom = Opgraph.B.add b Optype.Add [ denom; eps ] in
+  Opgraph.B.add b Optype.Div [ numer; denom ]
+
+(** [flatten_spatial ctx x] — NCHW -> [N x (H*W) x C] token layout. *)
+let flatten_spatial ctx x =
+  let s = Opgraph.B.shape_of ctx.b x in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let rs = Opgraph.B.add ctx.b (Optype.Reshape [| n; c; h * w |]) [ x ] in
+  Opgraph.B.add ctx.b (Optype.Transpose [| 0; 2; 1 |]) [ rs ]
+
+(** [unflatten_spatial ctx x ~h ~w] — [N x (H*W) x C] -> NCHW. *)
+let unflatten_spatial ctx x ~h ~w =
+  let s = Opgraph.B.shape_of ctx.b x in
+  let n = s.(0) and c = s.(2) in
+  let tr = Opgraph.B.add ctx.b (Optype.Transpose [| 0; 2; 1 |]) [ x ] in
+  Opgraph.B.add ctx.b (Optype.Reshape [| n; c; h; w |]) [ tr ]

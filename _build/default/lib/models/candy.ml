@@ -1,0 +1,60 @@
+(** Candy — fast neural style transfer CNN (Johnson et al.), the paper's
+    CNN workload with InstanceNorm-heavy residual blocks (Figure 12).
+
+    Architecture: 9x9 stem conv, two stride-2 downsampling convs, [blocks]
+    residual blocks (pad-conv-IN-relu-pad-conv-IN + add), two upsample+conv
+    stages and a 9x9 output conv with tanh. [width] scales all channel
+    counts (paper-faithful width is 32). *)
+
+open Ir
+
+let pad4 ctx x p =
+  Opgraph.B.add ctx.Blocks.b
+    (Optype.Pad { before = [| 0; 0; p; p |]; after = [| 0; 0; p; p |]; value = 0.0 })
+    [ x ]
+
+let residual_block ctx x ~c =
+  let p1 = pad4 ctx x 1 in
+  let c1 = Blocks.conv_in_act ctx p1 ~out_c:c ~k:3 ~stride:1 ~padding:0 ~act:`Relu in
+  let p2 = pad4 ctx c1 1 in
+  let c2 = Blocks.conv ctx p2 ~out_c:c ~k:3 ~stride:1 ~padding:0 ~bias:false () in
+  let n2 = Opgraph.B.add ctx.Blocks.b (Optype.InstanceNorm 1e-5) [ c2 ] in
+  Opgraph.B.add ctx.Blocks.b Optype.Add [ x; n2 ]
+
+let upsample_conv ctx x ~out_c =
+  let u = Opgraph.B.add ctx.Blocks.b (Optype.Upsample 2) [ x ] in
+  Blocks.conv_in_act ctx u ~out_c ~k:3 ~stride:1 ~padding:1 ~act:`Relu
+
+(** [build ?batch ?resolution ?width ?blocks ()] — paper defaults: batch 1,
+    224x224 input, width 32, 5 residual blocks. *)
+let build ?(batch = 1) ?(resolution = 224) ?(width = 32) ?(blocks = 5) () : Opgraph.t =
+  let ctx = Blocks.create () in
+  let x = Opgraph.B.input ctx.Blocks.b "input" [| batch; 3; resolution; resolution |] in
+  let p = pad4 ctx x 4 in
+  let s1 = Blocks.conv_in_act ctx p ~out_c:width ~k:9 ~stride:1 ~padding:0 ~act:`Relu in
+  let s2 = Blocks.conv_in_act ctx s1 ~out_c:(2 * width) ~k:3 ~stride:2 ~padding:1 ~act:`Relu in
+  let s3 = Blocks.conv_in_act ctx s2 ~out_c:(4 * width) ~k:3 ~stride:2 ~padding:1 ~act:`Relu in
+  let body = ref s3 in
+  for _ = 1 to blocks do
+    body := residual_block ctx !body ~c:(4 * width)
+  done;
+  let u1 = upsample_conv ctx !body ~out_c:(2 * width) in
+  let u2 = upsample_conv ctx u1 ~out_c:width in
+  let pf = pad4 ctx u2 4 in
+  let out = Blocks.conv ctx pf ~out_c:3 ~k:9 ~stride:1 ~padding:0 ~bias:true () in
+  let out = Opgraph.B.add ctx.Blocks.b Optype.Tanh [ out ] in
+  Opgraph.B.set_outputs ctx.Blocks.b [ out ];
+  Opgraph.B.finish ctx.Blocks.b
+
+(** The Figure 12 pattern in isolation: Conv -> InstanceNorm -> ReLU ->
+    Pad -> Conv, the subgraph the case study measures. *)
+let fig12_pattern ?(batch = 1) ?(resolution = 56) ?(width = 64) () : Opgraph.t =
+  let ctx = Blocks.create () in
+  let x = Opgraph.B.input ctx.Blocks.b "input" [| batch; width; resolution; resolution |] in
+  let c1 = Blocks.conv ctx x ~out_c:width ~k:3 ~stride:1 ~padding:1 ~bias:false () in
+  let inorm = Opgraph.B.add ctx.Blocks.b (Optype.InstanceNorm 1e-5) [ c1 ] in
+  let relu = Opgraph.B.add ctx.Blocks.b Optype.Relu [ inorm ] in
+  let pad = pad4 ctx relu 1 in
+  let c2 = Blocks.conv ctx pad ~out_c:width ~k:3 ~stride:1 ~padding:0 ~bias:false () in
+  Opgraph.B.set_outputs ctx.Blocks.b [ c2 ];
+  Opgraph.B.finish ctx.Blocks.b

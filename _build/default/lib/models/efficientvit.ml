@@ -1,0 +1,78 @@
+(** EfficientViT-style backbone: MBConv stages plus the lightweight
+    multi-scale ReLU linear-attention module whose ReduceSum/MatMul
+    structure drives the Figure 8–10 case study. *)
+
+open Ir
+
+let mbconv ctx x ~expand =
+  let b = ctx.Blocks.b in
+  let s = Opgraph.B.shape_of b x in
+  let c = s.(1) in
+  let e = Blocks.conv_bn_act ctx x ~out_c:(expand * c) ~k:1 ~stride:1 ~padding:0 ~act:`Silu in
+  let d = Blocks.conv_bn_act ctx e ~out_c:(expand * c) ~k:3 ~stride:1 ~padding:1 ~act:`Silu in
+  let p = Blocks.conv_bn_act ctx d ~out_c:c ~k:1 ~stride:1 ~padding:0 ~act:`None in
+  Opgraph.B.add b Optype.Add [ x; p ]
+
+(* The EfficientViT attention module on token layout: project to QKV with
+   one linear, split, run ReLU linear attention, project back. *)
+let lite_attention ctx tokens =
+  let b = ctx.Blocks.b in
+  let s = Opgraph.B.shape_of b tokens in
+  let n_tok = s.(1) and c = s.(2) in
+  let qkv = Blocks.linear ctx tokens ~out_f:(3 * c) in
+  let slice lo hi =
+    Opgraph.B.add b
+      (Optype.Slice { starts = [| 0; 0; lo |]; stops = [| s.(0); n_tok; hi |] })
+      [ qkv ]
+  in
+  let q = slice 0 c in
+  let k = slice c (2 * c) in
+  let v = slice (2 * c) (3 * c) in
+  let attn = Blocks.relu_linear_attention ctx q k v in
+  Blocks.linear ctx attn ~out_f:c
+
+let vit_block ctx x =
+  let b = ctx.Blocks.b in
+  let s = Opgraph.B.shape_of b x in
+  let h = s.(2) and w = s.(3) in
+  let tokens = Blocks.flatten_spatial ctx x in
+  let attn = lite_attention ctx tokens in
+  let res = Opgraph.B.add b Optype.Add [ tokens; attn ] in
+  let img = Blocks.unflatten_spatial ctx res ~h ~w in
+  mbconv ctx img ~expand:2
+
+(** [build ?batch ?resolution ?width ()] — the paper evaluates EfficientViT
+    at 2048x2048; a scaled default keeps the stem affordable while
+    preserving the attention-block structure. *)
+let build ?(batch = 1) ?(resolution = 2048) ?(width = 8) () : Opgraph.t =
+  let ctx = Blocks.create () in
+  let b = ctx.Blocks.b in
+  let x = Opgraph.B.input b "input" [| batch; 3; resolution; resolution |] in
+  let stem = Blocks.conv_bn_act ctx x ~out_c:width ~k:3 ~stride:2 ~padding:1 ~act:`Silu in
+  let d1 = Blocks.conv_bn_act ctx stem ~out_c:(2 * width) ~k:3 ~stride:2 ~padding:1 ~act:`Silu in
+  let s1 = mbconv ctx d1 ~expand:2 in
+  let d2 = Blocks.conv_bn_act ctx s1 ~out_c:(4 * width) ~k:3 ~stride:2 ~padding:1 ~act:`Silu in
+  let s2 = mbconv ctx d2 ~expand:2 in
+  let d3 = Blocks.conv_bn_act ctx s2 ~out_c:(8 * width) ~k:3 ~stride:2 ~padding:1 ~act:`Silu in
+  let s3 = vit_block ctx d3 in
+  let d4 = Blocks.conv_bn_act ctx s3 ~out_c:(16 * width) ~k:3 ~stride:2 ~padding:1 ~act:`Silu in
+  let s4 = vit_block ctx d4 in
+  let s5 = vit_block ctx s4 in
+  let headc = Blocks.conv_bn_act ctx s5 ~out_c:(16 * width) ~k:1 ~stride:1 ~padding:0 ~act:`Silu in
+  let pool = Opgraph.B.add b Optype.GlobalAvgPool [ headc ] in
+  let flat = Opgraph.B.add b (Optype.Reshape [| batch; 16 * width |]) [ pool ] in
+  let logits = Blocks.linear ctx flat ~out_f:100 in
+  Opgraph.B.set_outputs b [ logits ];
+  Opgraph.B.finish b
+
+(** The Figure 8 attention block in isolation: tokens with an extreme
+    aspect ratio (many tokens, few channels) where merging the ReduceSum
+    into the MatMuls and folding layout primitives pays off. *)
+let fig8_attention_block ?(batch = 1) ?(tokens = 1024) ?(channels = 16) () : Opgraph.t =
+  let ctx = Blocks.create () in
+  let b = ctx.Blocks.b in
+  let x = Opgraph.B.input b "tokens" [| batch; tokens; channels |] in
+  let attn = lite_attention ctx x in
+  let out = Opgraph.B.add b Optype.Add [ x; attn ] in
+  Opgraph.B.set_outputs b [ out ];
+  Opgraph.B.finish b

@@ -1,0 +1,67 @@
+(** Model registry: name -> builder, with the evaluation-scale defaults
+    from §6.1 and smaller "test-scale" variants the unit/integration tests
+    can execute quickly on CPU. *)
+
+open Ir
+
+type entry = {
+  name : string;
+  description : string;
+  paper_resolution : int;
+  build : ?batch:int -> unit -> Opgraph.t;  (** evaluation-scale graph *)
+  build_small : ?batch:int -> unit -> Opgraph.t;  (** executable test-scale graph *)
+}
+
+let candy =
+  {
+    name = "candy";
+    description = "fast style transfer CNN (Johnson et al.)";
+    paper_resolution = 224;
+    build = (fun ?(batch = 1) () -> Candy.build ~batch ~resolution:224 ~width:32 ~blocks:5 ());
+    build_small =
+      (fun ?(batch = 1) () -> Candy.build ~batch ~resolution:32 ~width:4 ~blocks:2 ());
+  }
+
+let yolov4 =
+  {
+    name = "yolov4";
+    description = "YOLOv4 object detector (CSPDarknet + SPP + PAN)";
+    paper_resolution = 416;
+    build = (fun ?(batch = 1) () -> Yolov4.build ~batch ~resolution:416 ~width:16 ~depth:1 ());
+    build_small =
+      (fun ?(batch = 1) () -> Yolov4.build ~batch ~resolution:64 ~width:4 ~depth:1 ());
+  }
+
+let yolox =
+  {
+    name = "yolox";
+    description = "YOLOX-Nano object detector (Focus stem + CSP + decoupled head)";
+    paper_resolution = 416;
+    build = (fun ?(batch = 1) () -> Yolox.build ~batch ~resolution:416 ~width:16 ());
+    build_small = (fun ?(batch = 1) () -> Yolox.build ~batch ~resolution:64 ~width:4 ());
+  }
+
+let segformer =
+  {
+    name = "segformer";
+    description = "Segformer semantic segmentation Transformer";
+    paper_resolution = 512;
+    build = (fun ?(batch = 1) () -> Segformer.build ~batch ~resolution:512 ());
+    build_small =
+      (fun ?(batch = 1) () ->
+        Segformer.build ~batch ~resolution:32 ~widths:[| 8; 16; 24; 32 |] ());
+  }
+
+let efficientvit =
+  {
+    name = "efficientvit";
+    description = "EfficientViT backbone with ReLU linear attention";
+    paper_resolution = 2048;
+    build = (fun ?(batch = 1) () -> Efficientvit.build ~batch ~resolution:2048 ~width:8 ());
+    build_small =
+      (fun ?(batch = 1) () -> Efficientvit.build ~batch ~resolution:64 ~width:4 ());
+  }
+
+let all = [ candy; yolov4; yolox; segformer; efficientvit ]
+
+let find name = List.find_opt (fun e -> e.name = name) all

@@ -1,0 +1,123 @@
+(** Segformer-style hierarchical vision Transformer for semantic
+    segmentation: overlapped patch-embedding convolutions, efficient
+    self-attention with spatial reduction of keys/values, Mix-FFN blocks
+    (linear - 3x3 conv - GELU - linear), and a lightweight all-MLP head.
+    This is the workload of Figures 7, 11 and 13. *)
+
+open Ir
+
+(* Efficient self-attention over tokens [B x N x C] with spatial reduction
+   ratio [sr] applied to K/V via a strided conv on the 2-d layout. *)
+let efficient_attention ctx tokens ~h ~w ~sr =
+  let b = ctx.Blocks.b in
+  let s = Opgraph.B.shape_of b tokens in
+  let c = s.(2) in
+  let q = Blocks.linear ctx tokens ~out_f:c in
+  let kv_src =
+    if sr > 1 then begin
+      let img = Blocks.unflatten_spatial ctx tokens ~h ~w in
+      let red = Blocks.conv ctx img ~out_c:c ~k:sr ~stride:sr ~padding:0 ~bias:true () in
+      let red_tokens = Blocks.flatten_spatial ctx red in
+      Blocks.layer_norm ctx red_tokens
+    end
+    else tokens
+  in
+  let k = Blocks.linear ctx kv_src ~out_f:c in
+  let v = Blocks.linear ctx kv_src ~out_f:c in
+  let attn = Blocks.softmax_attention ctx q k v in
+  Blocks.linear ctx attn ~out_f:c
+
+let mix_ffn ctx tokens ~h ~w ~expand =
+  let b = ctx.Blocks.b in
+  let s = Opgraph.B.shape_of b tokens in
+  let c = s.(2) in
+  let up = Blocks.linear ctx tokens ~out_f:(expand * c) in
+  let img = Blocks.unflatten_spatial ctx up ~h ~w in
+  let dw = Blocks.conv ctx img ~out_c:(expand * c) ~k:3 ~stride:1 ~padding:1 ~bias:true () in
+  let back = Blocks.flatten_spatial ctx dw in
+  let act = Opgraph.B.add b Optype.Gelu [ back ] in
+  Blocks.linear ctx act ~out_f:c
+
+let encoder_block ctx tokens ~h ~w ~sr ~expand =
+  let b = ctx.Blocks.b in
+  let n1 = Blocks.layer_norm ctx tokens in
+  let attn = efficient_attention ctx n1 ~h ~w ~sr in
+  let res1 = Opgraph.B.add b Optype.Add [ tokens; attn ] in
+  let n2 = Blocks.layer_norm ctx res1 in
+  let ffn = mix_ffn ctx n2 ~h ~w ~expand in
+  Opgraph.B.add b Optype.Add [ res1; ffn ]
+
+(** [build ?batch ?resolution ?widths ?depths ()] — four-stage encoder.
+    Paper input is 512x512; default widths are a scaled B0. *)
+let build ?(batch = 1) ?(resolution = 512) ?(widths = [| 16; 32; 80; 128 |])
+    ?(depths = [| 1; 1; 1; 1 |]) () : Opgraph.t =
+  let ctx = Blocks.create () in
+  let b = ctx.Blocks.b in
+  let x = Opgraph.B.input b "input" [| batch; 3; resolution; resolution |] in
+  let srs = [| 8; 4; 2; 1 |] in
+  let feat = ref x in
+  let stage_outputs = ref [] in
+  Array.iteri
+    (fun i c ->
+      let k, stride, pad = if i = 0 then (7, 4, 3) else (3, 2, 1) in
+      let embed = Blocks.conv ctx !feat ~out_c:c ~k ~stride ~padding:pad ~bias:true () in
+      let se = Opgraph.B.shape_of b embed in
+      let h = se.(2) and w = se.(3) in
+      let tokens = Blocks.flatten_spatial ctx embed in
+      let tokens = Blocks.layer_norm ctx tokens in
+      let t = ref tokens in
+      for _ = 1 to depths.(i) do
+        t := encoder_block ctx !t ~h ~w ~sr:srs.(i) ~expand:4
+      done;
+      let t = Blocks.layer_norm ctx !t in
+      let img = Blocks.unflatten_spatial ctx t ~h ~w in
+      stage_outputs := img :: !stage_outputs;
+      feat := img)
+    widths;
+  (* All-MLP decode head: unify channels with 1x1 convs, upsample to the
+     stage-1 resolution, concat, fuse. *)
+  let outs = List.rev !stage_outputs in
+  let target_h = resolution / 4 in
+  let unified =
+    List.map
+      (fun f ->
+        let u = Blocks.conv ctx f ~out_c:32 ~k:1 ~stride:1 ~padding:0 ~bias:true () in
+        let sh = Opgraph.B.shape_of b u in
+        if sh.(2) < target_h then
+          Opgraph.B.add b (Optype.Upsample (target_h / sh.(2))) [ u ]
+        else u)
+      outs
+  in
+  let cat = Opgraph.B.add b (Optype.Concat 1) unified in
+  let fuse = Blocks.conv_bn_act ctx cat ~out_c:32 ~k:1 ~stride:1 ~padding:0 ~act:`Relu in
+  let logits = Blocks.conv ctx fuse ~out_c:19 ~k:1 ~stride:1 ~padding:0 ~bias:true () in
+  Opgraph.B.set_outputs b [ logits ];
+  Opgraph.B.finish b
+
+(** The Figure 11/13 subgraph: a LayerNorm-centred memory-bound chain
+    (Add residual -> LayerNorm -> linear prologue) that greedy fusion
+    handles differently at batch 1 vs batch 16. *)
+let fig11_subgraph ?(batch = 1) ?(tokens = 1024) ?(channels = 64) () : Opgraph.t =
+  let ctx = Blocks.create () in
+  let b = ctx.Blocks.b in
+  let x = Opgraph.B.input b "input" [| batch; tokens; channels |] in
+  let y = Opgraph.B.input b "residual" [| batch; tokens; channels |] in
+  let add = Opgraph.B.add b Optype.Add [ x; y ] in
+  let n = Blocks.layer_norm ctx add in
+  let g = Opgraph.B.add b Optype.Gelu [ n ] in
+  let scaled = Opgraph.B.add b Optype.Mul [ g; Opgraph.B.const b (Const.value [||] 0.5) ] in
+  let out = Opgraph.B.add b Optype.Add [ scaled; add ] in
+  Opgraph.B.set_outputs b [ out ];
+  Opgraph.B.finish b
+
+(** A single self-attention block at Segformer scale — the Figure 2/4
+    softmax-orchestration example. *)
+let attention_subgraph ?(batch = 1) ?(tokens = 256) ?(channels = 64) () : Opgraph.t =
+  let ctx = Blocks.create () in
+  let b = ctx.Blocks.b in
+  let q = Opgraph.B.input b "q" [| batch; tokens; channels |] in
+  let k = Opgraph.B.input b "k" [| batch; tokens; channels |] in
+  let v = Opgraph.B.input b "v" [| batch; tokens; channels |] in
+  let out = Blocks.softmax_attention ctx q k v in
+  Opgraph.B.set_outputs b [ out ];
+  Opgraph.B.finish b

@@ -1,0 +1,82 @@
+(** YOLOv4-style object detector: CSPDarknet backbone with Mish
+    activations, SPP block, PANet neck with LeakyReLU, and three detection
+    heads. Channel widths and block counts are scaled by [width] /
+    [depth] to keep CPU-side enumeration tractable (the topology — CSP
+    splits, SPP maxpool fan-out, upsample/concat fusion sites — is what
+    kernel orchestration exercises). *)
+
+open Ir
+
+let cbm ctx x ~out_c ~k ~stride =
+  Blocks.conv_bn_act ctx x ~out_c ~k ~stride ~padding:(k / 2) ~act:`Mish
+
+let cbl ctx x ~out_c ~k ~stride =
+  Blocks.conv_bn_act ctx x ~out_c ~k ~stride ~padding:(k / 2) ~act:(`LeakyRelu 0.1)
+
+(* CSP stage: downsample then two routes, a bottleneck chain on one,
+   concatenated and fused by a 1x1 conv. *)
+let csp_stage ctx x ~out_c ~n =
+  let down = cbm ctx x ~out_c ~k:3 ~stride:2 in
+  let route1 = cbm ctx down ~out_c:(out_c / 2) ~k:1 ~stride:1 in
+  let route2 = cbm ctx down ~out_c:(out_c / 2) ~k:1 ~stride:1 in
+  let body = ref route2 in
+  for _ = 1 to n do
+    let c1 = cbm ctx !body ~out_c:(out_c / 2) ~k:1 ~stride:1 in
+    let c2 = cbm ctx c1 ~out_c:(out_c / 2) ~k:3 ~stride:1 in
+    body := Opgraph.B.add ctx.Blocks.b Optype.Add [ !body; c2 ]
+  done;
+  let cat = Opgraph.B.add ctx.Blocks.b (Optype.Concat 1) [ route1; !body ] in
+  cbm ctx cat ~out_c ~k:1 ~stride:1
+
+(* Spatial pyramid pooling: parallel max-pools concatenated. *)
+let spp ctx x =
+  let pool k = Opgraph.B.add ctx.Blocks.b
+      (Optype.MaxPool { kernel = (k, k); stride = (1, 1); padding = (k / 2, k / 2) })
+      [ x ]
+  in
+  let p5 = pool 5 and p9 = pool 9 and p13 = pool 13 in
+  Opgraph.B.add ctx.Blocks.b (Optype.Concat 1) [ p13; p9; p5; x ]
+
+let head ctx x ~mid_c ~out_c =
+  let c = cbl ctx x ~out_c:mid_c ~k:3 ~stride:1 in
+  Blocks.conv ctx c ~out_c ~k:1 ~stride:1 ~padding:0 ~bias:true ()
+
+(** [build ?batch ?resolution ?width ?depth ()] — defaults follow the
+    paper's 416x416 input; [width]=16 (paper-faithful 32) and [depth]=1
+    keep the graph a few hundred primitives. *)
+let build ?(batch = 1) ?(resolution = 416) ?(width = 16) ?(depth = 1) () : Opgraph.t =
+  let ctx = Blocks.create () in
+  let w = width in
+  let x = Opgraph.B.input ctx.Blocks.b "input" [| batch; 3; resolution; resolution |] in
+  let stem = cbm ctx x ~out_c:w ~k:3 ~stride:1 in
+  let s1 = csp_stage ctx stem ~out_c:(2 * w) ~n:depth in
+  let s2 = csp_stage ctx s1 ~out_c:(4 * w) ~n:depth in
+  let s3 = csp_stage ctx s2 ~out_c:(8 * w) ~n:(2 * depth) in
+  (* feature for medium head *)
+  let s4 = csp_stage ctx s3 ~out_c:(16 * w) ~n:(2 * depth) in
+  let s5 = csp_stage ctx s4 ~out_c:(32 * w) ~n:depth in
+  (* SPP on the deepest feature *)
+  let n1 = cbl ctx s5 ~out_c:(16 * w) ~k:1 ~stride:1 in
+  let n2 = cbl ctx n1 ~out_c:(32 * w) ~k:3 ~stride:1 in
+  let n3 = cbl ctx n2 ~out_c:(16 * w) ~k:1 ~stride:1 in
+  let sp = spp ctx n3 in
+  let n4 = cbl ctx sp ~out_c:(16 * w) ~k:1 ~stride:1 in
+  (* PAN up path to medium scale *)
+  let up = Opgraph.B.add ctx.Blocks.b (Optype.Upsample 2) [ cbl ctx n4 ~out_c:(8 * w) ~k:1 ~stride:1 ] in
+  let lat = cbl ctx s4 ~out_c:(8 * w) ~k:1 ~stride:1 in
+  let cat = Opgraph.B.add ctx.Blocks.b (Optype.Concat 1) [ lat; up ] in
+  let m1 = cbl ctx cat ~out_c:(8 * w) ~k:1 ~stride:1 in
+  let m2 = cbl ctx m1 ~out_c:(16 * w) ~k:3 ~stride:1 in
+  let m3 = cbl ctx m2 ~out_c:(8 * w) ~k:1 ~stride:1 in
+  (* PAN up path to small scale *)
+  let up2 = Opgraph.B.add ctx.Blocks.b (Optype.Upsample 2) [ cbl ctx m3 ~out_c:(4 * w) ~k:1 ~stride:1 ] in
+  let lat2 = cbl ctx s3 ~out_c:(4 * w) ~k:1 ~stride:1 in
+  let cat2 = Opgraph.B.add ctx.Blocks.b (Optype.Concat 1) [ lat2; up2 ] in
+  let sh = cbl ctx cat2 ~out_c:(4 * w) ~k:1 ~stride:1 in
+  (* Three detection heads: 3 anchors x (5 + 80 classes) scaled to 27. *)
+  let det_c = 27 in
+  let head_small = head ctx sh ~mid_c:(8 * w) ~out_c:det_c in
+  let head_medium = head ctx m3 ~mid_c:(16 * w) ~out_c:det_c in
+  let head_large = head ctx n4 ~mid_c:(32 * w) ~out_c:det_c in
+  Opgraph.B.set_outputs ctx.Blocks.b [ head_small; head_medium; head_large ];
+  Opgraph.B.finish ctx.Blocks.b

@@ -1,0 +1,84 @@
+(** YOLOX-Nano-style detector: Focus stem (space-to-depth via slices),
+    CSP stages with SiLU activations, and a decoupled classification /
+    regression head per scale. Depthwise convolutions in the original
+    Nano are modelled as dense convolutions at reduced width (noted in
+    DESIGN.md). *)
+
+open Ir
+
+let cbs ctx x ~out_c ~k ~stride =
+  Blocks.conv_bn_act ctx x ~out_c ~k ~stride ~padding:(k / 2) ~act:`Silu
+
+(* Focus: slice the image into four pixel-parity planes and concatenate on
+   channels — exercises Slice/Concat layout primitives. *)
+let focus ctx x ~out_c =
+  let s = Opgraph.B.shape_of ctx.Blocks.b x in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  (* Stride-2 spatial slices approximated by halving slices: top-left,
+     top-right, bottom-left, bottom-right quadrants carry the same data
+     volume and fan-out structure as pixel-parity gathers. *)
+  let quad sh sw =
+    Opgraph.B.add ctx.Blocks.b
+      (Optype.Slice
+         {
+           starts = [| 0; 0; sh * (h / 2); sw * (w / 2) |];
+           stops = [| n; c; (sh + 1) * (h / 2); (sw + 1) * (w / 2) |];
+         })
+      [ x ]
+  in
+  let q00 = quad 0 0 and q01 = quad 0 1 and q10 = quad 1 0 and q11 = quad 1 1 in
+  let cat = Opgraph.B.add ctx.Blocks.b (Optype.Concat 1) [ q00; q01; q10; q11 ] in
+  cbs ctx cat ~out_c ~k:3 ~stride:1
+
+let csp ctx x ~out_c ~n =
+  let r1 = cbs ctx x ~out_c:(out_c / 2) ~k:1 ~stride:1 in
+  let r2 = cbs ctx x ~out_c:(out_c / 2) ~k:1 ~stride:1 in
+  let body = ref r2 in
+  for _ = 1 to n do
+    let c1 = cbs ctx !body ~out_c:(out_c / 2) ~k:1 ~stride:1 in
+    let c2 = cbs ctx c1 ~out_c:(out_c / 2) ~k:3 ~stride:1 in
+    body := Opgraph.B.add ctx.Blocks.b Optype.Add [ !body; c2 ]
+  done;
+  let cat = Opgraph.B.add ctx.Blocks.b (Optype.Concat 1) [ r1; !body ] in
+  cbs ctx cat ~out_c ~k:1 ~stride:1
+
+let decoupled_head ctx x ~mid_c ~classes =
+  let stem = cbs ctx x ~out_c:mid_c ~k:1 ~stride:1 in
+  let cls1 = cbs ctx stem ~out_c:mid_c ~k:3 ~stride:1 in
+  let cls = Blocks.conv ctx cls1 ~out_c:classes ~k:1 ~stride:1 ~padding:0 ~bias:true () in
+  let cls = Opgraph.B.add ctx.Blocks.b Optype.Sigmoid [ cls ] in
+  let reg1 = cbs ctx stem ~out_c:mid_c ~k:3 ~stride:1 in
+  let reg = Blocks.conv ctx reg1 ~out_c:4 ~k:1 ~stride:1 ~padding:0 ~bias:true () in
+  let obj = Blocks.conv ctx reg1 ~out_c:1 ~k:1 ~stride:1 ~padding:0 ~bias:true () in
+  let obj = Opgraph.B.add ctx.Blocks.b Optype.Sigmoid [ obj ] in
+  Opgraph.B.add ctx.Blocks.b (Optype.Concat 1) [ reg; obj; cls ]
+
+(** [build ?batch ?resolution ?width ?classes ()] — 416x416 default input
+    per the paper. *)
+let build ?(batch = 1) ?(resolution = 416) ?(width = 16) ?(classes = 8) () : Opgraph.t =
+  let ctx = Blocks.create () in
+  let w = width in
+  let x = Opgraph.B.input ctx.Blocks.b "input" [| batch; 3; resolution; resolution |] in
+  let stem = focus ctx x ~out_c:w in
+  let d1 = cbs ctx stem ~out_c:(2 * w) ~k:3 ~stride:2 in
+  let s1 = csp ctx d1 ~out_c:(2 * w) ~n:1 in
+  let d2 = cbs ctx s1 ~out_c:(4 * w) ~k:3 ~stride:2 in
+  let s2 = csp ctx d2 ~out_c:(4 * w) ~n:2 in
+  let d3 = cbs ctx s2 ~out_c:(8 * w) ~k:3 ~stride:2 in
+  let s3 = csp ctx d3 ~out_c:(8 * w) ~n:2 in
+  let d4 = cbs ctx s3 ~out_c:(16 * w) ~k:3 ~stride:2 in
+  let s4 = csp ctx d4 ~out_c:(16 * w) ~n:1 in
+  (* FPN-style neck *)
+  let top = cbs ctx s4 ~out_c:(8 * w) ~k:1 ~stride:1 in
+  let up = Opgraph.B.add ctx.Blocks.b (Optype.Upsample 2) [ top ] in
+  let cat = Opgraph.B.add ctx.Blocks.b (Optype.Concat 1) [ up; s3 ] in
+  let p1 = csp ctx cat ~out_c:(8 * w) ~n:1 in
+  let mid = cbs ctx p1 ~out_c:(4 * w) ~k:1 ~stride:1 in
+  let up2 = Opgraph.B.add ctx.Blocks.b (Optype.Upsample 2) [ mid ] in
+  let cat2 = Opgraph.B.add ctx.Blocks.b (Optype.Concat 1) [ up2; s2 ] in
+  let p2 = csp ctx cat2 ~out_c:(4 * w) ~n:1 in
+  let h1 = decoupled_head ctx p2 ~mid_c:(4 * w) ~classes in
+  let h2 = decoupled_head ctx p1 ~mid_c:(4 * w) ~classes in
+  let h3 = decoupled_head ctx top ~mid_c:(4 * w) ~classes in
+  Opgraph.B.set_outputs ctx.Blocks.b [ h1; h2; h3 ];
+  Opgraph.B.finish ctx.Blocks.b

@@ -1,0 +1,1 @@
+lib/onnx/deserialize.ml: Array Const Graph Ir Json List Nd Opgraph Optype Primgraph Primitive Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/onnx/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/onnx/serialize.ml: Array Const Graph Ir Json List Nd Opgraph Optype Primgraph Primitive Shape Tensor

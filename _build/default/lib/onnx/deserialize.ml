@@ -1,0 +1,195 @@
+(** Graph deserialization from the JSON interchange format. *)
+
+open Ir
+open Tensor
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+let get obj key =
+  match Json.member key obj with Some v -> v | None -> fail "missing field %s" key
+
+let to_shape (j : Json.t) : Shape.t =
+  Array.of_list (List.map Json.to_int_exn (Json.to_list_exn j))
+
+let to_pair (j : Json.t) : int * int =
+  match Json.to_list_exn j with
+  | [ a; b ] -> (Json.to_int_exn a, Json.to_int_exn b)
+  | _ -> fail "expected pair"
+
+let to_nd (j : Json.t) : Nd.t =
+  let shape = to_shape (get j "shape") in
+  let data =
+    Array.of_list (List.map Json.to_float_exn (Json.to_list_exn (get j "data")))
+  in
+  Nd.of_array shape data
+
+let to_const (j : Json.t) : Const.t =
+  let shape = to_shape (get j "shape") in
+  match Json.to_string_exn (get j "fill") with
+  | "zeros" -> Const.zeros shape
+  | "ones" -> Const.ones shape
+  | "value" -> Const.value shape (Json.to_float_exn (get j "value"))
+  | "randn" -> Const.randn shape (Json.to_int_exn (get j "seed"))
+  | "randn_scaled" ->
+    Const.randn_scaled shape (Json.to_int_exn (get j "seed")) (Json.to_float_exn (get j "scale"))
+  | "data" -> Const.of_nd (to_nd (get j "tensor"))
+  | f -> fail "unknown const fill %s" f
+
+let to_optype (j : Json.t) : Optype.t =
+  let axis () = Json.to_int_exn (get j "axis") in
+  let keepdims () = match get j "keepdims" with Json.Bool b -> b | _ -> fail "keepdims" in
+  let eps () = Json.to_float_exn (get j "eps") in
+  let pool () =
+    (to_pair (get j "kernel"), to_pair (get j "stride"), to_pair (get j "padding"))
+  in
+  match Json.to_string_exn (get j "kind") with
+  | "Input" -> Optype.Input (Json.to_string_exn (get j "name"))
+  | "Constant" -> Optype.Constant (to_const (get j "const"))
+  | "Relu" -> Relu
+  | "LeakyRelu" -> LeakyRelu (Json.to_float_exn (get j "alpha"))
+  | "Sigmoid" -> Sigmoid
+  | "Silu" -> Silu
+  | "Mish" -> Mish
+  | "Tanh" -> Tanh
+  | "Gelu" -> Gelu
+  | "Erf" -> Erf
+  | "Exp" -> Exp
+  | "Log" -> Log
+  | "Sqrt" -> Sqrt
+  | "Neg" -> Neg
+  | "Square" -> Square
+  | "Add" -> Add
+  | "Sub" -> Sub
+  | "Mul" -> Mul
+  | "Div" -> Div
+  | "Pow" -> Pow
+  | "Softmax" -> Softmax (axis ())
+  | "InstanceNorm" -> InstanceNorm (eps ())
+  | "LayerNorm" -> LayerNorm (eps ())
+  | "BatchNorm" -> BatchNormInference (eps ())
+  | "ReduceSum" -> ReduceSum { axis = axis (); keepdims = keepdims () }
+  | "ReduceMean" -> ReduceMean { axis = axis (); keepdims = keepdims () }
+  | "ReduceMax" -> ReduceMax { axis = axis (); keepdims = keepdims () }
+  | "MaxPool" ->
+    let kernel, stride, padding = pool () in
+    MaxPool { kernel; stride; padding }
+  | "AvgPool" ->
+    let kernel, stride, padding = pool () in
+    AvgPool { kernel; stride; padding }
+  | "GlobalAvgPool" -> GlobalAvgPool
+  | "Transpose" -> Transpose (to_shape (get j "perm"))
+  | "Reshape" -> Reshape (to_shape (get j "shape"))
+  | "Pad" ->
+    Pad
+      { before = to_shape (get j "before"); after = to_shape (get j "after");
+        value = Json.to_float_exn (get j "value") }
+  | "Slice" -> Slice { starts = to_shape (get j "starts"); stops = to_shape (get j "stops") }
+  | "Concat" -> Concat (axis ())
+  | "MatMul" -> MatMul
+  | "Conv" ->
+    Conv
+      { stride = to_pair (get j "stride"); padding = to_pair (get j "padding");
+        bias = (match get j "bias" with Json.Bool b -> b | _ -> fail "bias") }
+  | "Upsample" -> Upsample (Json.to_int_exn (get j "scale"))
+  | "TopK" -> TopK (Json.to_int_exn (get j "k"))
+  | k -> fail "unknown operator kind %s" k
+
+let to_agg (j : Json.t) : Primitive.agg =
+  match Json.to_string_exn j with
+  | "sum" -> Primitive.Sum
+  | "mean" -> Mean
+  | "max" -> Max
+  | "min" -> Min
+  | "prod" -> Prod
+  | a -> fail "unknown aggregator %s" a
+
+let to_unary (j : Json.t) : Primitive.unary =
+  match Json.to_string_exn (get j "kind") with
+  | "exp" -> Primitive.Exp
+  | "log" -> Log
+  | "sqrt" -> Sqrt
+  | "rsqrt" -> Rsqrt
+  | "neg" -> Neg
+  | "abs" -> Abs
+  | "square" -> Square
+  | "recip" -> Reciprocal
+  | "relu" -> Relu
+  | "sigmoid" -> Sigmoid
+  | "silu" -> Silu
+  | "mish" -> Mish
+  | "tanh" -> Tanh
+  | "erf" -> Erf
+  | "gelu" -> Gelu
+  | "leaky_relu" -> LeakyRelu (Json.to_float_exn (get j "alpha"))
+  | "add_const" -> AddConst (Json.to_float_exn (get j "c"))
+  | "mul_const" -> MulConst (Json.to_float_exn (get j "c"))
+  | "pow_const" -> PowConst (Json.to_float_exn (get j "c"))
+  | "clip" -> Clip (Json.to_float_exn (get j "lo"), Json.to_float_exn (get j "hi"))
+  | u -> fail "unknown unary %s" u
+
+let to_binary (j : Json.t) : Primitive.binary =
+  match Json.to_string_exn j with
+  | "add" -> Primitive.Add
+  | "sub" -> Sub
+  | "mul" -> Mul
+  | "div" -> Div
+  | "max" -> Max
+  | "min" -> Min
+  | "pow" -> Pow
+  | b -> fail "unknown binary %s" b
+
+let to_primitive (j : Json.t) : Primitive.t =
+  match Json.to_string_exn (get j "kind") with
+  | "Input" -> Primitive.Input (Json.to_string_exn (get j "name"))
+  | "Constant" -> Constant (to_const (get j "const"))
+  | "Unary" -> Unary (to_unary (get j "fn"))
+  | "Binary" -> Binary (to_binary (get j "fn"))
+  | "Reduce" -> Reduce (to_agg (get j "agg"), Json.to_int_exn (get j "axis"))
+  | "Broadcast" -> Broadcast (Json.to_int_exn (get j "axis"), Json.to_int_exn (get j "size"))
+  | "Pool" ->
+    Pool
+      { agg = to_agg (get j "agg"); kernel = to_pair (get j "kernel");
+        stride = to_pair (get j "stride"); padding = to_pair (get j "padding") }
+  | "Transpose" -> Transpose (to_shape (get j "perm"))
+  | "Reshape" -> Reshape (to_shape (get j "shape"))
+  | "Pad" ->
+    Pad
+      { before = to_shape (get j "before"); after = to_shape (get j "after");
+        value = Json.to_float_exn (get j "value") }
+  | "Slice" -> Slice { starts = to_shape (get j "starts"); stops = to_shape (get j "stops") }
+  | "Concat" -> Concat (Json.to_int_exn (get j "axis"))
+  | "MatMul" -> Matmul
+  | "Conv" -> Conv { stride = to_pair (get j "stride"); padding = to_pair (get j "padding") }
+  | "Upsample" -> Upsample (Json.to_int_exn (get j "scale"))
+  | "Opaque" -> Opaque (Json.to_string_exn (get j "name"))
+  | k -> fail "unknown primitive kind %s" k
+
+let to_graph (to_op : Json.t -> 'op) (j : Json.t) ~(expect_kind : string) : 'op Graph.t =
+  (match Json.member "format" j with
+  | Some (Json.Str "korch-onnx-json") -> ()
+  | _ -> fail "not a korch-onnx-json document");
+  (match Json.member "kind" j with
+  | Some (Json.Str k) when k = expect_kind -> ()
+  | Some (Json.Str k) -> fail "expected %s graph, got %s" expect_kind k
+  | _ -> fail "missing graph kind");
+  let b = Graph.Builder.create () in
+  List.iter
+    (fun node_j ->
+      let op = to_op (get node_j "op") in
+      let inputs = List.map Json.to_int_exn (Json.to_list_exn (get node_j "inputs")) in
+      let shape = to_shape (get node_j "shape") in
+      ignore (Graph.Builder.add b op inputs shape))
+    (Json.to_list_exn (get j "nodes"));
+  Graph.Builder.set_outputs b
+    (List.map Json.to_int_exn (Json.to_list_exn (get j "outputs")));
+  Graph.Builder.finish b
+
+(** [opgraph_of_string s] — parse an operator graph document. *)
+let opgraph_of_string (s : string) : Opgraph.t =
+  to_graph to_optype (Json.of_string s) ~expect_kind:"operator"
+
+(** [primgraph_of_string s] — parse a primitive graph document. *)
+let primgraph_of_string (s : string) : Primgraph.t =
+  to_graph to_primitive (Json.of_string s) ~expect_kind:"primitive"

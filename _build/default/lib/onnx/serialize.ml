@@ -1,0 +1,178 @@
+(** Graph serialization to the JSON interchange format (ONNX stand-in).
+
+    Document shape:
+    {v
+    { "format": "korch-onnx-json", "version": 1, "kind": "operator"|"primitive",
+      "nodes": [ {"id": 0, "op": {...}, "inputs": [..], "shape": [..]} ],
+      "outputs": [ .. ] }
+    v} *)
+
+open Ir
+open Tensor
+
+let of_shape (s : Shape.t) : Json.t = Json.List (Array.to_list (Array.map (fun d -> Json.Num (float_of_int d)) s))
+
+let of_int_array (a : int array) : Json.t = of_shape a
+
+let of_pair (a, b) : Json.t = Json.List [ Json.Num (float_of_int a); Json.Num (float_of_int b) ]
+
+let of_nd (t : Nd.t) : Json.t =
+  Json.Obj
+    [ ("shape", of_shape (Nd.shape t));
+      ("data", Json.List (Array.to_list (Array.map (fun v -> Json.Num v) t.Nd.data))) ]
+
+let of_const (c : Const.t) : Json.t =
+  let fill =
+    match c.Const.fill with
+    | Const.Zeros -> [ ("fill", Json.Str "zeros") ]
+    | Const.Ones -> [ ("fill", Json.Str "ones") ]
+    | Const.Value v -> [ ("fill", Json.Str "value"); ("value", Json.Num v) ]
+    | Const.Randn seed -> [ ("fill", Json.Str "randn"); ("seed", Json.Num (float_of_int seed)) ]
+    | Const.Randn_scaled (seed, scale) ->
+      [ ("fill", Json.Str "randn_scaled");
+        ("seed", Json.Num (float_of_int seed));
+        ("scale", Json.Num scale) ]
+    | Const.Data nd -> [ ("fill", Json.Str "data"); ("tensor", of_nd nd) ]
+  in
+  Json.Obj (("shape", of_shape c.Const.shape) :: fill)
+
+let kind k attrs = Json.Obj (("kind", Json.Str k) :: attrs)
+
+let of_optype : Optype.t -> Json.t = function
+  | Optype.Input name -> kind "Input" [ ("name", Json.Str name) ]
+  | Constant c -> kind "Constant" [ ("const", of_const c) ]
+  | Relu -> kind "Relu" []
+  | LeakyRelu a -> kind "LeakyRelu" [ ("alpha", Json.Num a) ]
+  | Sigmoid -> kind "Sigmoid" []
+  | Silu -> kind "Silu" []
+  | Mish -> kind "Mish" []
+  | Tanh -> kind "Tanh" []
+  | Gelu -> kind "Gelu" []
+  | Erf -> kind "Erf" []
+  | Exp -> kind "Exp" []
+  | Log -> kind "Log" []
+  | Sqrt -> kind "Sqrt" []
+  | Neg -> kind "Neg" []
+  | Square -> kind "Square" []
+  | Add -> kind "Add" []
+  | Sub -> kind "Sub" []
+  | Mul -> kind "Mul" []
+  | Div -> kind "Div" []
+  | Pow -> kind "Pow" []
+  | Softmax axis -> kind "Softmax" [ ("axis", Json.Num (float_of_int axis)) ]
+  | InstanceNorm eps -> kind "InstanceNorm" [ ("eps", Json.Num eps) ]
+  | LayerNorm eps -> kind "LayerNorm" [ ("eps", Json.Num eps) ]
+  | BatchNormInference eps -> kind "BatchNorm" [ ("eps", Json.Num eps) ]
+  | ReduceSum { axis; keepdims } ->
+    kind "ReduceSum" [ ("axis", Json.Num (float_of_int axis)); ("keepdims", Json.Bool keepdims) ]
+  | ReduceMean { axis; keepdims } ->
+    kind "ReduceMean" [ ("axis", Json.Num (float_of_int axis)); ("keepdims", Json.Bool keepdims) ]
+  | ReduceMax { axis; keepdims } ->
+    kind "ReduceMax" [ ("axis", Json.Num (float_of_int axis)); ("keepdims", Json.Bool keepdims) ]
+  | MaxPool { kernel; stride; padding } ->
+    kind "MaxPool" [ ("kernel", of_pair kernel); ("stride", of_pair stride); ("padding", of_pair padding) ]
+  | AvgPool { kernel; stride; padding } ->
+    kind "AvgPool" [ ("kernel", of_pair kernel); ("stride", of_pair stride); ("padding", of_pair padding) ]
+  | GlobalAvgPool -> kind "GlobalAvgPool" []
+  | Transpose perm -> kind "Transpose" [ ("perm", of_int_array perm) ]
+  | Reshape s -> kind "Reshape" [ ("shape", of_shape s) ]
+  | Pad { before; after; value } ->
+    kind "Pad" [ ("before", of_int_array before); ("after", of_int_array after); ("value", Json.Num value) ]
+  | Slice { starts; stops } ->
+    kind "Slice" [ ("starts", of_int_array starts); ("stops", of_int_array stops) ]
+  | Concat axis -> kind "Concat" [ ("axis", Json.Num (float_of_int axis)) ]
+  | MatMul -> kind "MatMul" []
+  | Conv { stride; padding; bias } ->
+    kind "Conv" [ ("stride", of_pair stride); ("padding", of_pair padding); ("bias", Json.Bool bias) ]
+  | Upsample s -> kind "Upsample" [ ("scale", Json.Num (float_of_int s)) ]
+  | TopK k -> kind "TopK" [ ("k", Json.Num (float_of_int k)) ]
+
+let of_agg : Primitive.agg -> Json.t = function
+  | Primitive.Sum -> Json.Str "sum"
+  | Mean -> Json.Str "mean"
+  | Max -> Json.Str "max"
+  | Min -> Json.Str "min"
+  | Prod -> Json.Str "prod"
+
+let of_unary (u : Primitive.unary) : Json.t =
+  match u with
+  | Primitive.LeakyRelu a -> kind "leaky_relu" [ ("alpha", Json.Num a) ]
+  | AddConst c -> kind "add_const" [ ("c", Json.Num c) ]
+  | MulConst c -> kind "mul_const" [ ("c", Json.Num c) ]
+  | PowConst c -> kind "pow_const" [ ("c", Json.Num c) ]
+  | Clip (lo, hi) -> kind "clip" [ ("lo", Json.Num lo); ("hi", Json.Num hi) ]
+  | u ->
+    let name =
+      match u with
+      | Primitive.Exp -> "exp" | Log -> "log" | Sqrt -> "sqrt" | Rsqrt -> "rsqrt"
+      | Neg -> "neg" | Abs -> "abs" | Square -> "square" | Reciprocal -> "recip"
+      | Relu -> "relu" | Sigmoid -> "sigmoid" | Silu -> "silu" | Mish -> "mish"
+      | Tanh -> "tanh" | Erf -> "erf" | Gelu -> "gelu"
+      | LeakyRelu _ | AddConst _ | MulConst _ | PowConst _ | Clip _ -> assert false
+    in
+    kind name []
+
+let of_binary : Primitive.binary -> Json.t = function
+  | Primitive.Add -> Json.Str "add"
+  | Sub -> Json.Str "sub"
+  | Mul -> Json.Str "mul"
+  | Div -> Json.Str "div"
+  | Max -> Json.Str "max"
+  | Min -> Json.Str "min"
+  | Pow -> Json.Str "pow"
+
+let of_primitive : Primitive.t -> Json.t = function
+  | Primitive.Input name -> kind "Input" [ ("name", Json.Str name) ]
+  | Constant c -> kind "Constant" [ ("const", of_const c) ]
+  | Unary u -> kind "Unary" [ ("fn", of_unary u) ]
+  | Binary b -> kind "Binary" [ ("fn", of_binary b) ]
+  | Reduce (agg, axis) ->
+    kind "Reduce" [ ("agg", of_agg agg); ("axis", Json.Num (float_of_int axis)) ]
+  | Broadcast (axis, size) ->
+    kind "Broadcast" [ ("axis", Json.Num (float_of_int axis)); ("size", Json.Num (float_of_int size)) ]
+  | Pool { agg; kernel; stride; padding } ->
+    kind "Pool"
+      [ ("agg", of_agg agg); ("kernel", of_pair kernel); ("stride", of_pair stride);
+        ("padding", of_pair padding) ]
+  | Transpose perm -> kind "Transpose" [ ("perm", of_int_array perm) ]
+  | Reshape s -> kind "Reshape" [ ("shape", of_shape s) ]
+  | Pad { before; after; value } ->
+    kind "Pad" [ ("before", of_int_array before); ("after", of_int_array after); ("value", Json.Num value) ]
+  | Slice { starts; stops } ->
+    kind "Slice" [ ("starts", of_int_array starts); ("stops", of_int_array stops) ]
+  | Concat axis -> kind "Concat" [ ("axis", Json.Num (float_of_int axis)) ]
+  | Matmul -> kind "MatMul" []
+  | Conv { stride; padding } ->
+    kind "Conv" [ ("stride", of_pair stride); ("padding", of_pair padding) ]
+  | Upsample s -> kind "Upsample" [ ("scale", Json.Num (float_of_int s)) ]
+  | Opaque name -> kind "Opaque" [ ("name", Json.Str name) ]
+
+let of_graph ~(kind_name : string) (of_op : 'op -> Json.t) (g : 'op Graph.t) : Json.t =
+  Json.Obj
+    [ ("format", Json.Str "korch-onnx-json");
+      ("version", Json.Num 1.0);
+      ("kind", Json.Str kind_name);
+      ( "nodes",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun (nd : 'op Graph.node) ->
+                  Json.Obj
+                    [ ("id", Json.Num (float_of_int nd.Graph.id));
+                      ("op", of_op nd.Graph.op);
+                      ( "inputs",
+                        Json.List (List.map (fun i -> Json.Num (float_of_int i)) nd.Graph.inputs) );
+                      ("shape", of_shape nd.Graph.shape) ])
+                g.Graph.nodes)) );
+      ("outputs", Json.List (List.map (fun o -> Json.Num (float_of_int o)) g.Graph.outputs)) ]
+
+(** [of_opgraph g] — serialize an operator graph. *)
+let of_opgraph (g : Opgraph.t) : Json.t = of_graph ~kind_name:"operator" of_optype g
+
+(** [of_primgraph g] — serialize a primitive graph. *)
+let of_primgraph (g : Primgraph.t) : Json.t = of_graph ~kind_name:"primitive" of_primitive g
+
+(** [opgraph_to_string g] / [primgraph_to_string g] — JSON text. *)
+let opgraph_to_string g = Json.to_string (of_opgraph g)
+
+let primgraph_to_string g = Json.to_string (of_primgraph g)

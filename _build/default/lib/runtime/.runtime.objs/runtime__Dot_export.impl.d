@@ -1,0 +1,1 @@
+lib/runtime/dot_export.ml: Array Buffer Graph Hashtbl Ir List Plan Primgraph Primitive Printf String Tensor

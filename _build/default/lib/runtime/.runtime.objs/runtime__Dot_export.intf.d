@@ -1,0 +1,1 @@
+lib/runtime/dot_export.mli: Ir Plan Primgraph

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Bitset Graph Hashtbl Ir List Nd Plan Prim_interp Primgraph Primitive Printf Tensor

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Const Graph Hashtbl Ir List Nd Opgraph Ops_elementwise Ops_layout Ops_linear Ops_reduce Optype Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/runtime/multistream.ml: Array Bitset Float Graph Hashtbl Ir List Plan Primgraph Primitive

@@ -1,0 +1,1 @@
+lib/runtime/multistream.mli: Ir Plan Primgraph

@@ -1,0 +1,1 @@
+lib/runtime/prim_interp.ml: Array Const Graph Hashtbl Ir List Nd Ops_elementwise Ops_layout Ops_linear Ops_reduce Primgraph Primitive Printf Shape Tensor

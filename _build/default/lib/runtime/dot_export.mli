@@ -1,0 +1,13 @@
+(** Graphviz DOT export of primitive graphs and orchestration plans. *)
+
+open Ir
+
+(** [graph_to_dot g] — plain rendering: one box per node, dashed sources,
+    bold graph outputs. *)
+val graph_to_dot : Primgraph.t -> string
+
+(** [plan_to_dot g plan] — the primitive graph with one coloured cluster
+    per kernel; published outputs drawn with thick borders. Redundantly
+    executed primitives appear once in every kernel that recomputes them,
+    making the §4.2 relaxation directly visible. *)
+val plan_to_dot : Primgraph.t -> Plan.t -> string

@@ -1,0 +1,109 @@
+(** The executable generator / plan executor (§5.3).
+
+    Stitches selected kernels together respecting data dependencies and
+    runs them against the tensor substrate. Each kernel only reads tensors
+    published by earlier kernels (or graph sources) and only publishes its
+    declared outputs — exactly the contract the BLP dependency constraints
+    (Eq. 4) guarantee, which this executor re-checks dynamically. *)
+
+open Ir
+open Tensor
+
+exception Invalid_plan of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_plan s)) fmt
+
+(** [run g plan ~inputs] executes [plan] over primitive graph [g] and
+    returns the graph outputs in declaration order.
+
+    Raises {!Invalid_plan} if a kernel reads a tensor that no prior kernel
+    published, if a kernel's primitive set is not convex, or if the plan
+    finishes without publishing every graph output. *)
+let run (g : Primgraph.t) (plan : Plan.t) ~(inputs : (string * Nd.t) list) : Nd.t list =
+  let n = Graph.length g in
+  (* Global environment: sources first. *)
+  let global : Prim_interp.env = Prim_interp.bind_sources g ~inputs in
+  List.iteri
+    (fun ki (k : Plan.kernel) ->
+      let members = Bitset.of_list n k.Plan.prims in
+      if not (Graph.is_convex g members) then
+        fail "kernel %d executes a non-convex primitive set" (ki + 1);
+      (* Local environment: the kernel recomputes all its internal prims
+         from externally published tensors only. *)
+      let local : Prim_interp.env = Hashtbl.create 16 in
+      let ordered =
+        List.filter (fun id -> Bitset.mem members id) (Graph.topo_order g)
+      in
+      List.iter
+        (fun id ->
+          let nd = Graph.node g id in
+          let args =
+            List.map
+              (fun i ->
+                if Bitset.mem members i then
+                  match Hashtbl.find_opt local i with
+                  | Some v -> v
+                  | None -> fail "kernel %d: internal dependency %d not yet computed" (ki + 1) i
+                else
+                  match Hashtbl.find_opt global i with
+                  | Some v -> v
+                  | None ->
+                    fail "kernel %d reads tensor %d that no prior kernel published" (ki + 1) i)
+              nd.Graph.inputs
+          in
+          Hashtbl.replace local id (Prim_interp.eval_prim nd.Graph.op args))
+        ordered;
+      (* Publish declared outputs. *)
+      List.iter
+        (fun o ->
+          match Hashtbl.find_opt local o with
+          | Some v -> Hashtbl.replace global o v
+          | None -> fail "kernel %d declares output %d it did not compute" (ki + 1) o)
+        k.Plan.outputs)
+    plan.Plan.kernels;
+  List.map
+    (fun o ->
+      match Hashtbl.find_opt global o with
+      | Some v -> v
+      | None -> fail "plan finished without producing graph output %d" o)
+    g.Graph.outputs
+
+(** [validate g plan] statically checks the plan: convexity of every
+    kernel, dependency ordering, and output coverage — without executing
+    any tensor computation. Returns [Ok ()] or [Error message]. *)
+let validate (g : Primgraph.t) (plan : Plan.t) : (unit, string) result =
+  let n = Graph.length g in
+  let published = Array.make n false in
+  Array.iter
+    (fun nd -> if Primitive.is_source nd.Graph.op then published.(nd.Graph.id) <- true)
+    g.Graph.nodes;
+  let check () =
+    List.iteri
+      (fun ki (k : Plan.kernel) ->
+        List.iter
+          (fun id ->
+            if id < 0 || id >= n then fail "kernel %d references node %d out of range" (ki + 1) id)
+          (k.Plan.prims @ k.Plan.outputs);
+        let members = Bitset.of_list n k.Plan.prims in
+        if not (Graph.is_convex g members) then
+          fail "kernel %d: non-convex primitive set" (ki + 1);
+        List.iter
+          (fun id ->
+            List.iter
+              (fun i ->
+                if (not (Bitset.mem members i)) && not published.(i) then
+                  fail "kernel %d: unsatisfied dependency on %d" (ki + 1) i)
+              (Graph.inputs g id))
+          k.Plan.prims;
+        List.iter
+          (fun o ->
+            if not (Bitset.mem members o) then
+              fail "kernel %d: output %d not a member" (ki + 1) o;
+            published.(o) <- true)
+          k.Plan.outputs)
+      plan.Plan.kernels;
+    List.iter
+      (fun o -> if not published.(o) then fail "graph output %d never produced" o)
+      g.Graph.outputs
+  in
+  match check () with () -> Ok () | exception Invalid_plan m -> Error m

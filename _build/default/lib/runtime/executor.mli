@@ -1,0 +1,24 @@
+(** The executable generator / plan executor (§5.3).
+
+    Stitches selected kernels together respecting data dependencies and
+    runs them against the tensor substrate. Each kernel recomputes its
+    internal primitives from externally published tensors only and
+    publishes exactly its declared outputs — the contract the BLP
+    dependency constraints (Eq. 4) guarantee and this module re-checks. *)
+
+open Ir
+open Tensor
+
+exception Invalid_plan of string
+
+(** [run g plan ~inputs] executes [plan] over primitive graph [g] and
+    returns the graph outputs in declaration order.
+
+    Raises {!Invalid_plan} if a kernel reads a tensor no prior kernel
+    published, a kernel's primitive set is not convex, or the plan ends
+    without publishing every graph output. *)
+val run : Primgraph.t -> Plan.t -> inputs:(string * Nd.t) list -> Nd.t list
+
+(** [validate g plan] — the same checks as {!run} (plus id-range checks),
+    statically, without executing any tensor computation. *)
+val validate : Primgraph.t -> Plan.t -> (unit, string) result

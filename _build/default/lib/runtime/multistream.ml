@@ -1,0 +1,86 @@
+(** Multi-stream execution analysis (§8 "Extending BLP problem
+    formulation" / §5.3: Korch deliberately schedules kernels on one CUDA
+    stream; this module quantifies what concurrent streams would add).
+
+    The selected kernels form a dependency DAG: kernel B depends on kernel
+    A when A is the kernel that publishes one of B's external input
+    tensors (under the sequential plan's publisher binding). Greedy list
+    scheduling onto [streams] queues gives the projected makespan; the
+    critical path gives the limit for infinitely many streams. *)
+
+open Ir
+
+type analysis = {
+  sequential_us : float;  (** Eq. 2 cost: sum of kernel latencies *)
+  makespan_us : float;  (** projected latency with the given stream count *)
+  critical_path_us : float;  (** lower bound: longest dependency chain *)
+  streams : int;
+}
+
+(* For each kernel, the indices of the kernels it depends on. *)
+let kernel_deps (g : Primgraph.t) (plan : Plan.t) : int list array =
+  let kernels = Array.of_list plan.Plan.kernels in
+  let nk = Array.length kernels in
+  let publisher : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* prim id -> index of the kernel whose published value kernel i reads:
+     the most recent publisher at the time kernel i runs. *)
+  let deps = Array.make nk [] in
+  Array.iteri
+    (fun i k ->
+      let members = Bitset.of_list (Graph.length g) k.Plan.prims in
+      let ext = Graph.external_inputs g members in
+      let ds =
+        List.filter_map
+          (fun p ->
+            if Primitive.is_source (Graph.op g p) then None
+            else Hashtbl.find_opt publisher p)
+          ext
+        |> List.sort_uniq compare
+      in
+      deps.(i) <- ds;
+      List.iter (fun o -> Hashtbl.replace publisher o i) k.Plan.outputs)
+    kernels;
+  deps
+
+(** [analyze g plan ~streams] — project the plan onto [streams] concurrent
+    execution queues. *)
+let analyze (g : Primgraph.t) (plan : Plan.t) ~(streams : int) : analysis =
+  if streams < 1 then invalid_arg "Multistream.analyze: streams must be positive";
+  let kernels = Array.of_list plan.Plan.kernels in
+  let nk = Array.length kernels in
+  let deps = kernel_deps g plan in
+  (* Critical path via longest finish time with unlimited parallelism. *)
+  let finish_unlimited = Array.make nk 0.0 in
+  for i = 0 to nk - 1 do
+    let ready =
+      List.fold_left (fun acc d -> Float.max acc finish_unlimited.(d)) 0.0 deps.(i)
+    in
+    finish_unlimited.(i) <- ready +. kernels.(i).Plan.latency_us
+  done;
+  let critical_path_us = Array.fold_left Float.max 0.0 finish_unlimited in
+  (* Greedy list scheduling in plan order onto [streams] queues. *)
+  let stream_free = Array.make streams 0.0 in
+  let finish = Array.make nk 0.0 in
+  for i = 0 to nk - 1 do
+    let ready = List.fold_left (fun acc d -> Float.max acc finish.(d)) 0.0 deps.(i) in
+    (* earliest-available stream *)
+    let best = ref 0 in
+    for s = 1 to streams - 1 do
+      if stream_free.(s) < stream_free.(!best) then best := s
+    done;
+    let start = Float.max ready stream_free.(!best) in
+    finish.(i) <- start +. kernels.(i).Plan.latency_us;
+    stream_free.(!best) <- finish.(i)
+  done;
+  {
+    sequential_us = plan.Plan.total_latency_us;
+    makespan_us = Array.fold_left Float.max 0.0 finish;
+    critical_path_us;
+    streams;
+  }
+
+(** [parallelism g plan] — average width of the kernel DAG:
+    [sequential / critical path]; 1.0 means a pure chain. *)
+let parallelism (g : Primgraph.t) (plan : Plan.t) : float =
+  let a = analyze g plan ~streams:1 in
+  if a.critical_path_us > 0.0 then a.sequential_us /. a.critical_path_us else 1.0

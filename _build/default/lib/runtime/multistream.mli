@@ -1,0 +1,25 @@
+(** Multi-stream execution analysis (extension of §5.3/§8: Korch
+    deliberately schedules kernels on one CUDA stream; this module
+    quantifies what concurrent streams would add).
+
+    The selected kernels form a dependency DAG (kernel B depends on the
+    kernel publishing each of B's external inputs under the sequential
+    plan's publisher binding); greedy list scheduling projects it onto a
+    given number of streams. *)
+
+open Ir
+
+type analysis = {
+  sequential_us : float;  (** Eq. 2 cost: sum of kernel latencies *)
+  makespan_us : float;  (** projected latency with [streams] queues *)
+  critical_path_us : float;  (** limit for infinitely many streams *)
+  streams : int;
+}
+
+(** [analyze g plan ~streams] — project [plan] onto [streams] concurrent
+    execution queues. Raises [Invalid_argument] when [streams < 1]. *)
+val analyze : Primgraph.t -> Plan.t -> streams:int -> analysis
+
+(** [parallelism g plan] — average width of the kernel DAG:
+    sequential ÷ critical path; 1.0 means a pure chain. *)
+val parallelism : Primgraph.t -> Plan.t -> float

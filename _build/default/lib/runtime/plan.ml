@@ -1,0 +1,47 @@
+(** Orchestration plans — the output of the kernel orchestration optimizer
+    and the input of the executable generator (§5.3).
+
+    A plan is an ordered list of kernels. Each kernel names the primitive
+    nodes it executes (a convex subgraph of the primitive graph), the subset
+    it publishes as kernel outputs, and the latency/backend the profiler
+    assigned. Because Korch allows redundant computation (§4.2), the same
+    primitive id may appear in several kernels. *)
+
+type kernel = {
+  prims : int list;  (** primitive node ids executed inside this kernel *)
+  outputs : int list;  (** subset of [prims] whose results are published *)
+  latency_us : float;  (** profiled latency in microseconds *)
+  backend : string;  (** which backend generated the kernel (tvm / cublas / ...) *)
+}
+
+type t = {
+  kernels : kernel list;  (** in execution (dependency) order *)
+  total_latency_us : float;  (** sum of kernel latencies, Eq. (2) *)
+}
+
+(** [kernel_count p] is the number of kernels launched. *)
+let kernel_count (p : t) = List.length p.kernels
+
+(** [executed_prims p] lists all primitive ids executed, with multiplicity. *)
+let executed_prims (p : t) = List.concat_map (fun k -> k.prims) p.kernels
+
+(** [redundancy p] is (total primitive executions) − (distinct primitives):
+    0 for disjoint partitions, > 0 when Korch exploits redundant
+    computation. *)
+let redundancy (p : t) =
+  let all = executed_prims p in
+  List.length all - List.length (List.sort_uniq compare all)
+
+(** [make kernels] computes the total latency per Eq. (2). *)
+let make (kernels : kernel list) : t =
+  { kernels; total_latency_us = List.fold_left (fun a k -> a +. k.latency_us) 0.0 kernels }
+
+let pp ppf (p : t) =
+  Format.fprintf ppf "plan: %d kernels, %.2f us total@." (kernel_count p) p.total_latency_us;
+  List.iteri
+    (fun i k ->
+      Format.fprintf ppf "  k%-3d [%s] %.3f us  prims={%s} outs={%s}@." (i + 1) k.backend
+        k.latency_us
+        (String.concat "," (List.map string_of_int k.prims))
+        (String.concat "," (List.map string_of_int k.outputs)))
+    p.kernels

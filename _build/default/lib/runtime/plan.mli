@@ -1,0 +1,34 @@
+(** Orchestration plans — the output of the kernel orchestration optimizer
+    and the input of the executable generator (§5.3).
+
+    A plan is an ordered list of kernels; each names the primitives it
+    executes (a convex subgraph), the subset it publishes, and the
+    latency/backend the profiler assigned. Because Korch allows redundant
+    computation (§4.2), a primitive id may appear in several kernels. *)
+
+type kernel = {
+  prims : int list;  (** primitive node ids executed inside this kernel *)
+  outputs : int list;  (** subset of [prims] whose results are published *)
+  latency_us : float;  (** profiled latency, microseconds *)
+  backend : string;  (** which backend generated the kernel (tvm/vendor/...) *)
+}
+
+type t = {
+  kernels : kernel list;  (** in execution (dependency) order *)
+  total_latency_us : float;  (** sum of kernel latencies, Eq. (2) *)
+}
+
+(** [make kernels] computes the Eq. (2) total. *)
+val make : kernel list -> t
+
+(** Number of kernels launched. *)
+val kernel_count : t -> int
+
+(** All primitive ids executed, with multiplicity. *)
+val executed_prims : t -> int list
+
+(** (total primitive executions) − (distinct primitives): 0 for disjoint
+    partitions, positive when Korch exploits redundant computation. *)
+val redundancy : t -> int
+
+val pp : Format.formatter -> t -> unit

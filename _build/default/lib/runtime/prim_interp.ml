@@ -1,0 +1,128 @@
+(** Reference interpreter for primitive graphs.
+
+    Executes every primitive against the {!Tensor} substrate. Used (a) as
+    the semantic oracle for fission/transformation equivalence tests and
+    (b) by the {!Executor} to run individual kernels of an orchestration
+    plan. *)
+
+open Ir
+open Tensor
+
+exception Unsupported of string
+
+(** [eval_prim p args] applies primitive [p] to concrete input tensors. *)
+let eval_prim (p : Primitive.t) (args : Nd.t list) : Nd.t =
+  let one () = match args with [ x ] -> x | _ -> invalid_arg "prim arity" in
+  let two () = match args with [ x; y ] -> (x, y) | _ -> invalid_arg "prim arity" in
+  match p with
+  | Primitive.Input name -> raise (Unsupported ("unbound input " ^ name))
+  | Constant c -> Const.materialize c
+  | Unary u -> begin
+    let x = one () in
+    match u with
+    | Exp -> Ops_elementwise.exp x
+    | Log -> Ops_elementwise.log x
+    | Sqrt -> Ops_elementwise.sqrt x
+    | Rsqrt -> Ops_elementwise.reciprocal (Ops_elementwise.sqrt x)
+    | Neg -> Ops_elementwise.neg x
+    | Abs -> Ops_elementwise.abs x
+    | Square -> Ops_elementwise.square x
+    | Reciprocal -> Ops_elementwise.reciprocal x
+    | Relu -> Ops_elementwise.relu x
+    | LeakyRelu a -> Ops_elementwise.leaky_relu ~alpha:a x
+    | Sigmoid -> Ops_elementwise.sigmoid x
+    | Silu -> Ops_elementwise.silu x
+    | Mish -> Ops_elementwise.mish x
+    | Tanh -> Ops_elementwise.tanh x
+    | Erf -> Ops_elementwise.erf x
+    | Gelu -> Ops_elementwise.gelu x
+    | AddConst c -> Ops_elementwise.add_scalar c x
+    | MulConst c -> Ops_elementwise.mul_scalar c x
+    | PowConst c -> Ops_elementwise.map (fun v -> v ** c) x
+    | Clip (lo, hi) -> Ops_elementwise.clip ~lo ~hi x
+  end
+  | Binary bop -> begin
+    let x, y = two () in
+    match bop with
+    | Add -> Ops_elementwise.add x y
+    | Sub -> Ops_elementwise.sub x y
+    | Mul -> Ops_elementwise.mul x y
+    | Div -> Ops_elementwise.div x y
+    | Max -> Ops_elementwise.maximum x y
+    | Min -> Ops_elementwise.minimum x y
+    | Pow -> Ops_elementwise.pow x y
+  end
+  | Reduce (agg, axis) -> Ops_reduce.reduce agg ~axis ~keepdims:false (one ())
+  | Broadcast (axis, size) -> Ops_reduce.broadcast_axis (one ()) ~axis ~size
+  | Pool { agg; kernel; stride; padding } ->
+    Ops_reduce.pool2d agg (one ()) ~kernel ~stride ~padding
+  | Transpose perm -> Ops_layout.transpose (one ()) perm
+  | Reshape s -> Nd.reshape (one ()) s
+  | Pad { before; after; value } -> Ops_layout.pad (one ()) ~before ~after ~value
+  | Slice { starts; stops } -> Ops_layout.slice (one ()) ~starts ~stops
+  | Concat axis -> Ops_layout.concat args ~axis
+  | Matmul ->
+    let x, y = two () in
+    Ops_linear.batch_matmul x y
+  | Conv { stride; padding } ->
+    let x, w = two () in
+    Ops_linear.conv2d x w ~stride ~padding ()
+  | Upsample scale -> Ops_linear.upsample_nearest2d (one ()) ~scale
+  | Opaque name -> raise (Unsupported ("opaque primitive " ^ name))
+
+type env = (int, Nd.t) Hashtbl.t
+
+(** [eval_node g env id] computes node [id] from its inputs in [env],
+    asserting the inferred shape, and stores the result in [env]. *)
+let eval_node (g : Primgraph.t) (env : env) (id : int) : Nd.t =
+  match Hashtbl.find_opt env id with
+  | Some v -> v
+  | None ->
+    let nd = Graph.node g id in
+    let args =
+      List.map
+        (fun i ->
+          match Hashtbl.find_opt env i with
+          | Some v -> v
+          | None -> invalid_arg (Printf.sprintf "prim_interp: input %d not computed" i))
+        nd.Graph.inputs
+    in
+    let v = eval_prim nd.Graph.op args in
+    if not (Shape.equal (Nd.shape v) nd.Graph.shape) then
+      invalid_arg
+        (Printf.sprintf "prim_interp: node %d (%s) produced %s, declared %s" id
+           (Primitive.to_string nd.Graph.op)
+           (Shape.to_string (Nd.shape v))
+           (Shape.to_string nd.Graph.shape));
+    Hashtbl.replace env id v;
+    v
+
+(** [bind_sources g ~inputs] initializes an environment with named graph
+    inputs and materialized constants. *)
+let bind_sources (g : Primgraph.t) ~(inputs : (string * Nd.t) list) : env =
+  let env = Hashtbl.create 64 in
+  Array.iter
+    (fun nd ->
+      match nd.Graph.op with
+      | Primitive.Input name -> begin
+        match List.assoc_opt name inputs with
+        | Some v ->
+          if not (Shape.equal (Nd.shape v) nd.Graph.shape) then
+            invalid_arg
+              (Printf.sprintf "prim_interp: input %s has shape %s, expected %s" name
+                 (Shape.to_string (Nd.shape v))
+                 (Shape.to_string nd.Graph.shape));
+          Hashtbl.replace env nd.Graph.id v
+        | None -> invalid_arg ("prim_interp: missing input " ^ name)
+      end
+      | Primitive.Constant c -> Hashtbl.replace env nd.Graph.id (Const.materialize c)
+      | _ -> ())
+    g.Graph.nodes;
+  env
+
+(** [run g ~inputs] evaluates the whole graph and returns the output
+    tensors in declaration order. *)
+let run (g : Primgraph.t) ~(inputs : (string * Nd.t) list) : Nd.t list =
+  let env = bind_sources g ~inputs in
+  List.iter (fun id -> ignore (eval_node g env id)) (Graph.topo_order g);
+  List.map (fun id -> Hashtbl.find env id) g.Graph.outputs

@@ -1,0 +1,1 @@
+lib/tensor/nd.ml: Array Float Format Printf Rng Shape

@@ -1,0 +1,1 @@
+lib/tensor/ops_elementwise.ml: Array Float Nd Shape Stdlib

@@ -1,0 +1,1 @@
+lib/tensor/ops_layout.ml: Array List Nd Shape

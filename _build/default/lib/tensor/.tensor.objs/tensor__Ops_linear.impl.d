@@ -1,0 +1,1 @@
+lib/tensor/ops_linear.ml: Array Nd Ops_elementwise Ops_layout Printf Shape

@@ -1,0 +1,1 @@
+lib/tensor/ops_reduce.ml: Array Float Nd Shape

@@ -1,0 +1,97 @@
+(** Elementwise tensor operations with numpy-style broadcasting.
+
+    Elementwise primitives are the first of the paper's four primitive
+    categories (§3): the output element at position [x] depends only on the
+    input elements at position [x] (after broadcasting). *)
+
+(** [map f t] applies [f] to every element. *)
+let map (f : float -> float) (t : Nd.t) : Nd.t =
+  Nd.of_array (Nd.shape t) (Array.map f t.Nd.data)
+
+(* Fold a broadcast index of the output into the linear offset of an input
+   whose shape was right-aligned against the output shape. *)
+let broadcast_offset ~(out_shape : Shape.t) ~(in_shape : Shape.t) (out_idx : int array) : int =
+  let ro = Shape.rank out_shape and ri = Shape.rank in_shape in
+  let st = Shape.strides in_shape in
+  let off = ref 0 in
+  for i = 0 to ri - 1 do
+    let oi = out_idx.(i + (ro - ri)) in
+    let d = in_shape.(i) in
+    let pos = if d = 1 then 0 else oi in
+    off := !off + (pos * st.(i))
+  done;
+  !off
+
+(** [map2 f a b] applies [f] pointwise after broadcasting [a] and [b] to a
+    common shape. *)
+let map2 (f : float -> float -> float) (a : Nd.t) (b : Nd.t) : Nd.t =
+  let sa = Nd.shape a and sb = Nd.shape b in
+  if Shape.equal sa sb then
+    Nd.of_array sa (Array.init (Nd.numel a) (fun i -> f a.Nd.data.(i) b.Nd.data.(i)))
+  else begin
+    let out_shape = Shape.broadcast sa sb in
+    let out = Nd.zeros out_shape in
+    let n = Shape.numel out_shape in
+    for k = 0 to n - 1 do
+      let idx = Shape.unravel out_shape k in
+      let va = a.Nd.data.(broadcast_offset ~out_shape ~in_shape:sa idx) in
+      let vb = b.Nd.data.(broadcast_offset ~out_shape ~in_shape:sb idx) in
+      Nd.set_linear out k (f va vb)
+    done;
+    out
+  end
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let div = map2 ( /. )
+let pow = map2 ( ** )
+let maximum = map2 Float.max
+let minimum = map2 Float.min
+
+let neg = map (fun x -> -.x)
+let exp = map Stdlib.exp
+let log = map Stdlib.log
+let sqrt = map Stdlib.sqrt
+let abs = map Float.abs
+let square = map (fun x -> x *. x)
+let reciprocal = map (fun x -> 1.0 /. x)
+let tanh = map Stdlib.tanh
+
+(** [erf_scalar x] approximates the Gauss error function with the
+    Abramowitz & Stegun 7.1.26 polynomial (max abs error 1.5e-7), which is
+    ample for checking functional equivalence of GELU decompositions. *)
+let erf_scalar (x : float) : float =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let a1 = 0.254829592 and a2 = -0.284496736 and a3 = 1.421413741 in
+  let a4 = -1.453152027 and a5 = 1.061405429 in
+  let poly = ((((a5 *. t) +. a4) *. t +. a3) *. t +. a2) *. t +. a1 in
+  sign *. (1.0 -. (poly *. t *. Stdlib.exp (-.x *. x)))
+
+let erf = map erf_scalar
+let relu = map (fun x -> Float.max 0.0 x)
+let leaky_relu ~alpha = map (fun x -> if x >= 0.0 then x else alpha *. x)
+let sigmoid = map (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)))
+
+(** SiLU / swish: [x * sigmoid x]. *)
+let silu = map (fun x -> x /. (1.0 +. Stdlib.exp (-.x)))
+
+(** Mish activation used by YOLOv4: [x * tanh (softplus x)]. *)
+let mish = map (fun x -> x *. Stdlib.tanh (Stdlib.log (1.0 +. Stdlib.exp x)))
+
+(** Exact GELU via erf. *)
+let gelu = map (fun x -> 0.5 *. x *. (1.0 +. erf_scalar (x /. Stdlib.sqrt 2.0)))
+
+let add_scalar c = map (fun x -> x +. c)
+let mul_scalar c = map (fun x -> x *. c)
+
+(** [clip ~lo ~hi t] clamps every element into [[lo, hi]]. *)
+let clip ~lo ~hi = map (fun x -> Float.min hi (Float.max lo x))
+
+(** [select c a b] is elementwise [if c <> 0 then a else b] with
+    broadcasting applied pairwise. *)
+let select (c : Nd.t) (a : Nd.t) (b : Nd.t) : Nd.t =
+  let ca = map2 (fun c a -> if c <> 0.0 then a else Float.nan) c a in
+  map2 (fun x b -> if Float.is_nan x then b else x) ca b

@@ -1,0 +1,143 @@
+(** Layout transformation primitives (§3, third category): transpose, pad,
+    slice, concat, split, reshape. None performs arithmetic; each is a
+    one-to-one (or gather/scatter) index remapping. *)
+
+(** [transpose t perm] permutes the axes: output index [i] reads input axis
+    [perm.(i)]. *)
+let transpose (t : Nd.t) (perm : int array) : Nd.t =
+  let s = Nd.shape t in
+  let out_shape = Shape.permute s perm in
+  let out = Nd.zeros out_shape in
+  let r = Shape.rank s in
+  let n = Shape.numel out_shape in
+  let src_idx = Array.make r 0 in
+  for k = 0 to n - 1 do
+    let idx = Shape.unravel out_shape k in
+    for i = 0 to r - 1 do
+      src_idx.(perm.(i)) <- idx.(i)
+    done;
+    Nd.set_linear out k (Nd.get t src_idx)
+  done;
+  out
+
+(** [transpose2d t] swaps the trailing two axes, keeping leading batch axes. *)
+let transpose2d (t : Nd.t) : Nd.t =
+  let r = Shape.rank (Nd.shape t) in
+  if r < 2 then invalid_arg "Ops_layout.transpose2d: rank < 2";
+  let perm = Array.init r (fun i -> i) in
+  perm.(r - 2) <- r - 1;
+  perm.(r - 1) <- r - 2;
+  transpose t perm
+
+(** [pad t ~before ~after ~value] pads each dimension [i] with [before.(i)]
+    leading and [after.(i)] trailing cells filled with [value]. *)
+let pad (t : Nd.t) ~(before : int array) ~(after : int array) ~(value : float) : Nd.t =
+  let s = Nd.shape t in
+  let r = Shape.rank s in
+  if Array.length before <> r || Array.length after <> r then
+    invalid_arg "Ops_layout.pad: padding rank mismatch";
+  let out_shape = Array.init r (fun i -> s.(i) + before.(i) + after.(i)) in
+  let out = Nd.full out_shape value in
+  let n = Shape.numel s in
+  let dst = Array.make r 0 in
+  for k = 0 to n - 1 do
+    let idx = Shape.unravel s k in
+    for i = 0 to r - 1 do
+      dst.(i) <- idx.(i) + before.(i)
+    done;
+    Nd.set out dst (Nd.get_linear t k)
+  done;
+  out
+
+(** [slice t ~starts ~stops] extracts the half-open box
+    [[starts.(i), stops.(i))] along every dimension. *)
+let slice (t : Nd.t) ~(starts : int array) ~(stops : int array) : Nd.t =
+  let s = Nd.shape t in
+  let r = Shape.rank s in
+  if Array.length starts <> r || Array.length stops <> r then
+    invalid_arg "Ops_layout.slice: bounds rank mismatch";
+  Array.iteri
+    (fun i st ->
+      if st < 0 || stops.(i) > s.(i) || st > stops.(i) then
+        invalid_arg "Ops_layout.slice: bounds out of range")
+    starts;
+  let out_shape = Array.init r (fun i -> stops.(i) - starts.(i)) in
+  let out = Nd.zeros out_shape in
+  let n = Shape.numel out_shape in
+  let src = Array.make r 0 in
+  for k = 0 to n - 1 do
+    let idx = Shape.unravel out_shape k in
+    for i = 0 to r - 1 do
+      src.(i) <- idx.(i) + starts.(i)
+    done;
+    Nd.set_linear out k (Nd.get t src)
+  done;
+  out
+
+(** [concat ts ~axis] concatenates tensors along [axis]; all other
+    dimensions must agree. *)
+let concat (ts : Nd.t list) ~(axis : int) : Nd.t =
+  match ts with
+  | [] -> invalid_arg "Ops_layout.concat: empty list"
+  | first :: _ ->
+    let s0 = Nd.shape first in
+    let r = Shape.rank s0 in
+    if axis < 0 || axis >= r then invalid_arg "Ops_layout.concat: axis out of range";
+    let total =
+      List.fold_left
+        (fun acc t ->
+          let s = Nd.shape t in
+          if Shape.rank s <> r then invalid_arg "Ops_layout.concat: rank mismatch";
+          Array.iteri
+            (fun i d -> if i <> axis && d <> s0.(i) then
+                invalid_arg "Ops_layout.concat: shape mismatch off-axis")
+            s;
+          acc + s.(axis))
+        0 ts
+    in
+    let out_shape = Shape.set_axis s0 axis total in
+    let out = Nd.zeros out_shape in
+    let offset = ref 0 in
+    List.iter
+      (fun t ->
+        let s = Nd.shape t in
+        let n = Shape.numel s in
+        let dst = Array.make r 0 in
+        for k = 0 to n - 1 do
+          let idx = Shape.unravel s k in
+          Array.blit idx 0 dst 0 r;
+          dst.(axis) <- idx.(axis) + !offset;
+          Nd.set out dst (Nd.get_linear t k)
+        done;
+        offset := !offset + s.(axis))
+      ts;
+    out
+
+(** [split t ~axis ~sizes] is the inverse of {!concat}: cuts [t] along
+    [axis] into pieces of the given sizes (which must sum to the axis
+    length). *)
+let split (t : Nd.t) ~(axis : int) ~(sizes : int list) : Nd.t list =
+  let s = Nd.shape t in
+  let total = List.fold_left ( + ) 0 sizes in
+  if total <> s.(axis) then invalid_arg "Ops_layout.split: sizes do not sum to axis length";
+  let r = Shape.rank s in
+  let starts = Array.make r 0 and stops = Array.copy s in
+  let pieces = ref [] in
+  let pos = ref 0 in
+  List.iter
+    (fun sz ->
+      starts.(axis) <- !pos;
+      stops.(axis) <- !pos + sz;
+      pieces := slice t ~starts:(Array.copy starts) ~stops:(Array.copy stops) :: !pieces;
+      pos := !pos + sz)
+    sizes;
+  List.rev !pieces
+
+(** [reshape] re-exported from {!Nd} for symmetry with the primitive set. *)
+let reshape = Nd.reshape
+
+(** [nchw_to_nhwc t] converts layout for a rank-4 tensor. *)
+let nchw_to_nhwc (t : Nd.t) = transpose t [| 0; 2; 3; 1 |]
+
+(** [nhwc_to_nchw t] converts layout for a rank-4 tensor. *)
+let nhwc_to_nchw (t : Nd.t) = transpose t [| 0; 3; 1; 2 |]

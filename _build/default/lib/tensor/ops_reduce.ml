@@ -1,0 +1,123 @@
+(** Reduce and broadcast primitives (§3, second category), plus the pooling
+    operators that lower to windowed reductions. *)
+
+type agg = Sum | Mean | Max | Min | Prod
+
+let agg_to_string = function
+  | Sum -> "sum" | Mean -> "mean" | Max -> "max" | Min -> "min" | Prod -> "prod"
+
+let agg_init = function
+  | Sum | Mean -> 0.0
+  | Max -> Float.neg_infinity
+  | Min -> Float.infinity
+  | Prod -> 1.0
+
+let agg_combine = function
+  | Sum | Mean -> ( +. )
+  | Max -> Float.max
+  | Min -> Float.min
+  | Prod -> ( *. )
+
+(** [reduce agg ~axis ~keepdims t] aggregates along dimension [axis]. With
+    [keepdims] the reduced dimension is kept with size 1 (the broadcast
+    primitive is then its exact inverse shape-wise). *)
+let reduce (agg : agg) ~(axis : int) ~(keepdims : bool) (t : Nd.t) : Nd.t =
+  let s = Nd.shape t in
+  let r = Shape.rank s in
+  if axis < 0 || axis >= r then invalid_arg "Ops_reduce.reduce: axis out of range";
+  let d = s.(axis) in
+  let out_shape = Shape.drop_axis s axis in
+  let out = Nd.full out_shape (agg_init agg) in
+  let combine = agg_combine agg in
+  let n_out = Shape.numel out_shape in
+  let st = Shape.strides s in
+  for k = 0 to n_out - 1 do
+    let idx_out = Shape.unravel out_shape k in
+    (* Base offset of the row being reduced. *)
+    let base = ref 0 in
+    for i = 0 to r - 1 do
+      if i < axis then base := !base + (idx_out.(i) * st.(i))
+      else if i > axis then base := !base + (idx_out.(i - 1) * st.(i))
+    done;
+    let acc = ref (agg_init agg) in
+    for j = 0 to d - 1 do
+      acc := combine !acc (Nd.get_linear t (!base + (j * st.(axis))))
+    done;
+    let v = match agg with Mean -> !acc /. float_of_int d | _ -> !acc in
+    Nd.set_linear out k v
+  done;
+  if keepdims then Nd.reshape out (Shape.insert_axis out_shape axis 1) else out
+
+let sum ?(keepdims = false) ~axis t = reduce Sum ~axis ~keepdims t
+let mean ?(keepdims = false) ~axis t = reduce Mean ~axis ~keepdims t
+let max ?(keepdims = false) ~axis t = reduce Max ~axis ~keepdims t
+let min ?(keepdims = false) ~axis t = reduce Min ~axis ~keepdims t
+
+(** [broadcast_axis t ~axis ~size] inserts dimension [axis] of size [size]
+    and replicates the input along it: the paper's broadcast primitive,
+    inverse of reduce over the same axis. *)
+let broadcast_axis (t : Nd.t) ~(axis : int) ~(size : int) : Nd.t =
+  let s = Nd.shape t in
+  let out_shape = Shape.insert_axis s axis size in
+  let out = Nd.zeros out_shape in
+  let n = Shape.numel out_shape in
+  for k = 0 to n - 1 do
+    let idx = Shape.unravel out_shape k in
+    let src_idx = Shape.drop_axis idx axis in
+    Nd.set_linear out k (Nd.get t src_idx)
+  done;
+  out
+
+(** [pool2d agg t ~kernel ~stride ~padding] applies a 2-d windowed reduction
+    over the trailing two dimensions of an NCHW tensor. Padding cells
+    contribute the aggregator's neutral element (so max-pool padding is
+    [-inf], matching ONNX semantics for valid windows; windows are placed on
+    the padded canvas). *)
+let pool2d (agg : agg) (t : Nd.t) ~(kernel : int * int) ~(stride : int * int)
+    ~(padding : int * int) : Nd.t =
+  let s = Nd.shape t in
+  if Shape.rank s <> 4 then invalid_arg "Ops_reduce.pool2d: expected NCHW input";
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let kh, kw = kernel and sh, sw = stride and ph, pw = padding in
+  let oh = ((h + (2 * ph) - kh) / sh) + 1 in
+  let ow = ((w + (2 * pw) - kw) / sw) + 1 in
+  if oh <= 0 || ow <= 0 then invalid_arg "Ops_reduce.pool2d: empty output";
+  let out = Nd.zeros [| n; c; oh; ow |] in
+  let combine = agg_combine agg in
+  for bi = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      for oi = 0 to oh - 1 do
+        for oj = 0 to ow - 1 do
+          let acc = ref (agg_init agg) in
+          let count = ref 0 in
+          for ki = 0 to kh - 1 do
+            for kj = 0 to kw - 1 do
+              let ii = (oi * sh) + ki - ph and jj = (oj * sw) + kj - pw in
+              if ii >= 0 && ii < h && jj >= 0 && jj < w then begin
+                acc := combine !acc (Nd.get t [| bi; ci; ii; jj |]);
+                incr count
+              end
+            done
+          done;
+          let v =
+            match agg with
+            | Mean -> if !count = 0 then 0.0 else !acc /. float_of_int (kh * kw)
+            | _ -> !acc
+          in
+          Nd.set out [| bi; ci; oi; oj |] v
+        done
+      done
+    done
+  done;
+  out
+
+let maxpool2d = pool2d Max
+let avgpool2d = pool2d Mean
+
+(** [global_avg_pool2d t] averages over the spatial dimensions of an NCHW
+    tensor, producing [N x C x 1 x 1]. *)
+let global_avg_pool2d (t : Nd.t) : Nd.t =
+  let s = Nd.shape t in
+  if Shape.rank s <> 4 then invalid_arg "Ops_reduce.global_avg_pool2d: expected NCHW";
+  let m = mean ~keepdims:true ~axis:3 t in
+  mean ~keepdims:true ~axis:2 m

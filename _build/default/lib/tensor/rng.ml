@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All test data and synthetic workloads are generated through this module
+    so that runs are reproducible regardless of the OCaml stdlib RNG. *)
+
+type t = { mutable state : int64 }
+
+(** [create seed] makes a generator with the given seed. *)
+let create (seed : int) : t = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(** [next_int64 t] advances the generator and returns 64 pseudo-random bits. *)
+let next_int64 (t : t) : int64 =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [float t] is uniform in [[0, 1)]. *)
+let float (t : t) : float =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** [uniform t ~lo ~hi] is uniform in [[lo, hi)]. *)
+let uniform (t : t) ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+(** [int t bound] is uniform in [[0, bound)]. [bound] must be positive. *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) in
+  v mod bound
+
+(** [normal t] is a standard normal sample (Box-Muller). *)
+let normal (t : t) : float =
+  let u1 = max 1e-12 (float t) in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)

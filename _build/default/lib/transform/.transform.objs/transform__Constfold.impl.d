@@ -1,0 +1,1 @@
+lib/transform/constfold.ml: Array Const Edit Graph Ir List Option Primgraph Primitive Runtime Shape Tensor

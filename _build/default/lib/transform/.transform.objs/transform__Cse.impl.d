@@ -1,0 +1,1 @@
+lib/transform/cse.ml: Array Const Edit Graph Hashtbl Ir List Primgraph Primitive Printf String Tensor

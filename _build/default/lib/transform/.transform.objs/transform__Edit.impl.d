@@ -1,0 +1,1 @@
+lib/transform/edit.ml: Array Const Graph Hashtbl Ir List Primgraph Primitive Shape Shape_infer Tensor

@@ -1,0 +1,1 @@
+lib/transform/edit.mli: Ir Primgraph Primitive Shape Tensor

@@ -1,0 +1,1 @@
+lib/transform/optimizer.mli: Gpu Ir Primgraph

@@ -1,0 +1,1 @@
+lib/transform/rules_broadcast.ml: Array Edit Graph Ir Primgraph Primitive Tensor

@@ -1,0 +1,1 @@
+lib/transform/rules_layout_cancel.ml: Array Edit Graph Ir List Option Primgraph Primitive Shape Tensor

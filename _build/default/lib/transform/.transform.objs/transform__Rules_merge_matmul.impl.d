@@ -1,0 +1,1 @@
+lib/transform/rules_merge_matmul.ml: Array Bitset Edit Graph Ir List Primgraph Primitive Shape Tensor

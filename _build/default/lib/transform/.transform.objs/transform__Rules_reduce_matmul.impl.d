@@ -1,0 +1,1 @@
+lib/transform/rules_reduce_matmul.ml: Array Const Edit Graph Ir Primgraph Primitive Shape Tensor

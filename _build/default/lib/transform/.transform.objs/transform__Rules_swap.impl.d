@@ -1,0 +1,1 @@
+lib/transform/rules_swap.ml: Array Edit Graph Ir Primgraph Primitive Shape Tensor

@@ -1,0 +1,1 @@
+lib/transform/rules_transpose.ml: Array Edit Fun Graph Ir Primgraph Primitive Shape Tensor

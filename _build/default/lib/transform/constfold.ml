@@ -1,0 +1,47 @@
+(** Constant folding: primitives whose inputs are all constants are
+    evaluated at compile time and replaced by [Constant] nodes.
+
+    Folding is size-guarded — materializing a huge broadcast of a constant
+    would trade cheap recomputation for memory traffic, so only results up
+    to [max_elems] are folded. *)
+
+open Ir
+open Tensor
+
+let default_max_elems = 1 lsl 16
+
+(** [run ?max_elems g] folds to fixpoint. *)
+let run ?(max_elems = default_max_elems) (g : Primgraph.t) : Primgraph.t =
+  let g = ref g in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let e = Edit.of_graph !g in
+    Array.iter
+      (fun nd ->
+        match nd.Graph.op with
+        | Primitive.Input _ | Constant _ | Opaque _ -> ()
+        | op ->
+          let const_inputs =
+            List.map
+              (fun i ->
+                match Graph.op !g i with Primitive.Constant c -> Some c | _ -> None)
+              nd.Graph.inputs
+          in
+          if
+            const_inputs <> []
+            && List.for_all Option.is_some const_inputs
+            && Shape.numel nd.Graph.shape <= max_elems
+          then begin
+            let args = List.map (fun c -> Const.materialize (Option.get c)) const_inputs in
+            match Runtime.Prim_interp.eval_prim op args with
+            | v ->
+              let c = Edit.add e (Primitive.Constant (Const.of_nd v)) [] in
+              Edit.redirect e ~old:nd.Graph.id ~new_:c;
+              changed := true
+            | exception _ -> ()
+          end)
+      !g.Graph.nodes;
+    if !changed then g := Edit.finish e
+  done;
+  !g

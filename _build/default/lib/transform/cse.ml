@@ -1,0 +1,51 @@
+(** Common subexpression elimination on primitive graphs.
+
+    Structurally identical nodes (same primitive, same input ids) are
+    merged. Run after fission: neighbouring operator decompositions often
+    produce duplicate reduces/broadcasts. *)
+
+open Ir
+
+let prim_key (p : Primitive.t) (inputs : int list) : string =
+  let payload =
+    (* [Primitive.to_string] renders constant payloads opaquely; include a
+       content hash so distinct embedded tensors never share a key. *)
+    match p with
+    | Primitive.Constant { Const.fill = Const.Data nd; _ } ->
+      Printf.sprintf "#%d" (Hashtbl.hash_param 256 512 nd.Tensor.Nd.data)
+    | _ -> ""
+  in
+  Primitive.to_string p ^ payload ^ "("
+  ^ String.concat "," (List.map string_of_int inputs)
+  ^ ")"
+
+(** [run g] merges duplicates until fixpoint and returns the reduced
+    graph. Named graph inputs are never merged with one another. *)
+let run (g : Primgraph.t) : Primgraph.t =
+  let changed = ref true in
+  let g = ref g in
+  while !changed do
+    changed := false;
+    let seen = Hashtbl.create 64 in
+    let e = Edit.of_graph !g in
+    Array.iter
+      (fun nd ->
+        match nd.Graph.op with
+        | Primitive.Input _ -> ()
+        | op ->
+          let key = prim_key op nd.Graph.inputs in
+          (match Hashtbl.find_opt seen key with
+          | Some canonical
+            when canonical <> nd.Graph.id
+                 (* Guard against key collisions: the primitives (payloads
+                    included) must be structurally identical. *)
+                 && Graph.op !g canonical = op
+                 && Graph.inputs !g canonical = nd.Graph.inputs ->
+            Edit.redirect e ~old:nd.Graph.id ~new_:canonical;
+            changed := true
+          | Some _ -> ()
+          | None -> Hashtbl.replace seen key nd.Graph.id))
+      !g.Graph.nodes;
+    if !changed then g := Edit.finish e
+  done;
+  !g

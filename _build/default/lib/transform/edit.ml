@@ -1,0 +1,107 @@
+(** Graph surgery for rewrite rules.
+
+    An [Edit.t] wraps a primitive graph, supports appending fresh nodes and
+    redirecting consumers from an old node to a replacement, and on
+    [finish] garbage-collects nodes no longer reachable from the graph
+    outputs and renumbers densely. Rewrite rules are expressed as a few
+    [add]/[redirect] calls instead of manual array surgery. *)
+
+open Ir
+open Tensor
+
+type pending = { op : Primitive.t; inputs : int list; shape : Shape.t }
+
+type t = {
+  base : Primgraph.t;
+  mutable fresh : pending list;  (** reversed list of appended nodes *)
+  mutable fresh_count : int;
+  replace : (int, int) Hashtbl.t;  (** old id -> replacement id *)
+}
+
+let of_graph (g : Primgraph.t) : t =
+  { base = g; fresh = []; fresh_count = 0; replace = Hashtbl.create 8 }
+
+let shape_of (e : t) (id : int) : Shape.t =
+  let n = Graph.length e.base in
+  if id < n then Graph.shape e.base id
+  else (List.nth e.fresh (e.fresh_count - 1 - (id - n))).shape
+
+(** [add e op inputs] appends a fresh node (inputs may reference base or
+    fresh ids) and returns its id. Shape is inferred. *)
+let add (e : t) (op : Primitive.t) (inputs : int list) : int =
+  let shapes = List.map (shape_of e) inputs in
+  let shape =
+    match op with
+    | Primitive.Constant c -> c.Const.shape
+    | _ -> Shape_infer.prim op shapes
+  in
+  let id = Graph.length e.base + e.fresh_count in
+  e.fresh <- { op; inputs; shape } :: e.fresh;
+  e.fresh_count <- e.fresh_count + 1;
+  id
+
+(** [redirect e ~old ~new_] makes every consumer of [old] (and the graph
+    output list) refer to [new_] instead. The shapes must match. *)
+let redirect (e : t) ~(old : int) ~(new_ : int) : unit =
+  if not (Shape.equal (shape_of e old) (shape_of e new_)) then
+    invalid_arg "Edit.redirect: shape mismatch";
+  Hashtbl.replace e.replace old new_
+
+(* Resolve replacement chains (a -> b, b -> c gives a -> c). *)
+let resolve (e : t) (id : int) : int =
+  let rec go id seen =
+    match Hashtbl.find_opt e.replace id with
+    | Some id' when not (List.mem id' seen) -> go id' (id :: seen)
+    | _ -> id
+  in
+  go id []
+
+(** [finish e] produces the rewritten graph: replacements applied,
+    unreachable nodes dropped, ids renumbered in topological order. *)
+let finish (e : t) : Primgraph.t =
+  let nbase = Graph.length e.base in
+  let total = nbase + e.fresh_count in
+  let op_of id =
+    if id < nbase then Graph.op e.base id
+    else (List.nth e.fresh (e.fresh_count - 1 - (id - nbase))).op
+  in
+  let inputs_of id =
+    let raw =
+      if id < nbase then Graph.inputs e.base id
+      else (List.nth e.fresh (e.fresh_count - 1 - (id - nbase))).inputs
+    in
+    List.map (resolve e) raw
+  in
+  let shape_of_id id = shape_of e id in
+  let outputs = List.map (resolve e) e.base.Graph.outputs in
+  (* Mark reachable nodes from outputs. *)
+  let reachable = Array.make total false in
+  let rec mark id =
+    if not reachable.(id) then begin
+      reachable.(id) <- true;
+      List.iter mark (inputs_of id)
+    end
+  in
+  List.iter mark outputs;
+  (* Topologically order reachable nodes (DFS postorder). *)
+  let order = ref [] in
+  let visited = Array.make total false in
+  let rec visit id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter visit (inputs_of id);
+      order := id :: !order
+    end
+  in
+  List.iter visit outputs;
+  let order = List.rev !order in
+  let remap = Hashtbl.create total in
+  List.iteri (fun i id -> Hashtbl.replace remap id i) order;
+  let b = Graph.Builder.create () in
+  List.iter
+    (fun id ->
+      let inputs = List.map (fun i -> Hashtbl.find remap i) (inputs_of id) in
+      ignore (Graph.Builder.add b (op_of id) inputs (shape_of_id id)))
+    order;
+  Graph.Builder.set_outputs b (List.map (fun i -> Hashtbl.find remap i) outputs);
+  Graph.Builder.finish b

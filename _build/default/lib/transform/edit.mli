@@ -1,0 +1,30 @@
+(** Graph surgery for rewrite rules.
+
+    An [Edit.t] wraps a primitive graph, supports appending fresh nodes
+    and redirecting consumers from an old node to a replacement, and on
+    [finish] garbage-collects nodes unreachable from the graph outputs and
+    renumbers densely. Rules are a few [add]/[redirect] calls instead of
+    manual array surgery. *)
+
+open Ir
+open Tensor
+
+type t
+
+val of_graph : Primgraph.t -> t
+
+(** Output shape of a base or fresh node. *)
+val shape_of : t -> int -> Shape.t
+
+(** [add e op inputs] appends a fresh node (inputs may reference base or
+    fresh ids) and returns its id; the shape is inferred. *)
+val add : t -> Primitive.t -> int list -> int
+
+(** [redirect e ~old ~new_] makes every consumer of [old] — and the graph
+    output list — refer to [new_]. Raises [Invalid_argument] when the
+    shapes differ. Rules must not make [new_] transitively depend on
+    [old]; {!finish} validates acyclicity. *)
+val redirect : t -> old:int -> new_:int -> unit
+
+(** Produce the rewritten, garbage-collected, validated graph. *)
+val finish : t -> Primgraph.t

@@ -1,0 +1,86 @@
+(** Broadcast-movement rules.
+
+    Broadcast primitives replicate data; pushing them later (or cancelling
+    them against reductions) shrinks the tensors that flow between
+    kernels:
+    - [Binary(Broadcast_k a, Broadcast_k b) -> Broadcast_k (Binary (a, b))]
+      performs the arithmetic at pre-broadcast size;
+    - [Unary(Broadcast_k a) -> Broadcast_k (Unary a)] likewise;
+    - [Reduce_sum_k (Broadcast_k a) -> MulConst d a] — summing what was
+      just replicated is a scale;
+    - [Reduce_{max,min,mean}_k (Broadcast_k a) -> a] — aggregation undoes
+      the replication exactly. *)
+
+open Ir
+
+let unary_through (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match (nd.Graph.op, nd.Graph.inputs) with
+      | Primitive.Unary u, [ bc ] -> begin
+        match (Graph.op g bc, Graph.inputs g bc) with
+        | Primitive.Broadcast (axis, size), [ x ] ->
+          let e = Edit.of_graph g in
+          let u' = Edit.add e (Primitive.Unary u) [ x ] in
+          let bc' = Edit.add e (Primitive.Broadcast (axis, size)) [ u' ] in
+          Edit.redirect e ~old:nd.Graph.id ~new_:bc';
+          results := Edit.finish e :: !results
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+let binary_through (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match (nd.Graph.op, nd.Graph.inputs) with
+      | Primitive.Binary bop, [ l; r ] when l <> r -> begin
+        match ((Graph.op g l, Graph.inputs g l), (Graph.op g r, Graph.inputs g r)) with
+        | (Primitive.Broadcast (ax1, s1), [ a ]), (Primitive.Broadcast (ax2, s2), [ b ])
+          when ax1 = ax2 && s1 = s2
+               && Tensor.Shape.equal (Graph.shape g a) (Graph.shape g b) ->
+          let e = Edit.of_graph g in
+          let op' = Edit.add e (Primitive.Binary bop) [ a; b ] in
+          let bc' = Edit.add e (Primitive.Broadcast (ax1, s1)) [ op' ] in
+          Edit.redirect e ~old:nd.Graph.id ~new_:bc';
+          results := Edit.finish e :: !results
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+let reduce_of_broadcast (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match (nd.Graph.op, nd.Graph.inputs) with
+      | Primitive.Reduce (agg, rax), [ bc ] -> begin
+        match (Graph.op g bc, Graph.inputs g bc) with
+        | Primitive.Broadcast (bax, size), [ x ] when rax = bax ->
+          let e = Edit.of_graph g in
+          let replacement =
+            match agg with
+            | Primitive.Sum ->
+              Edit.add e (Primitive.Unary (Primitive.MulConst (float_of_int size))) [ x ]
+            | Mean | Max | Min ->
+              (* aggregating identical copies returns the original; insert
+                 an identity-preserving no-op so the redirect has a fresh
+                 node when x is a source *)
+              x
+            | Prod ->
+              Edit.add e (Primitive.Unary (Primitive.PowConst (float_of_int size))) [ x ]
+          in
+          Edit.redirect e ~old:nd.Graph.id ~new_:replacement;
+          results := Edit.finish e :: !results
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+let apply (g : Primgraph.t) : Primgraph.t list =
+  unary_through g @ binary_through g @ reduce_of_broadcast g

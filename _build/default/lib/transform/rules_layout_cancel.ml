@@ -1,0 +1,162 @@
+(** Layout-primitive cancellation rules.
+
+    Fission and MatMul merging introduce Pad/Slice/Concat/Reshape chains;
+    these rules collapse the redundant ones:
+    - [Slice (Pad x)] that extracts exactly the original region cancels;
+    - [Slice (Concat xs)] that falls inside one piece becomes a slice of
+      that piece (or the piece itself);
+    - [Reshape (Reshape x)] fuses; an identity Reshape disappears;
+    - [Concat] of adjacent [Slice]s covering the whole source cancels. *)
+
+open Ir
+open Tensor
+
+let reshape_fuse (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match (nd.Graph.op, nd.Graph.inputs) with
+      | Primitive.Reshape target, [ inner ] -> begin
+        match (Graph.op g inner, Graph.inputs g inner) with
+        | Primitive.Reshape _, [ x ] ->
+          let e = Edit.of_graph g in
+          let replacement =
+            if Shape.equal (Graph.shape g x) target then x
+            else Edit.add e (Primitive.Reshape target) [ x ]
+          in
+          Edit.redirect e ~old:nd.Graph.id ~new_:replacement;
+          results := Edit.finish e :: !results
+        | _ when Shape.equal (Graph.shape g inner) target ->
+          (* identity reshape *)
+          let e = Edit.of_graph g in
+          Edit.redirect e ~old:nd.Graph.id ~new_:inner;
+          results := Edit.finish e :: !results
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+let slice_of_pad (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match (nd.Graph.op, nd.Graph.inputs) with
+      | Primitive.Slice { starts; stops }, [ p ] -> begin
+        match (Graph.op g p, Graph.inputs g p) with
+        | Primitive.Pad { before; _ }, [ x ] ->
+          let sx = Graph.shape g x in
+          let exact =
+            Array.for_all2 ( = ) starts before
+            && Array.for_all2 (fun stop (b, d) -> stop = b + d)
+                 stops
+                 (Array.init (Shape.rank sx) (fun i -> (before.(i), sx.(i))))
+          in
+          if exact then begin
+            let e = Edit.of_graph g in
+            Edit.redirect e ~old:nd.Graph.id ~new_:x;
+            results := Edit.finish e :: !results
+          end
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+let slice_of_concat (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match (nd.Graph.op, nd.Graph.inputs) with
+      | Primitive.Slice { starts; stops }, [ c ] -> begin
+        match (Graph.op g c, Graph.inputs g c) with
+        | Primitive.Concat axis, pieces when pieces <> [] ->
+          (* Does the sliced range fall entirely inside one piece, with
+             every other axis taken whole? *)
+          let sc = Graph.shape g c in
+          let full_other_axes =
+            Array.for_all
+              (fun i -> i = axis || (starts.(i) = 0 && stops.(i) = sc.(i)))
+              (Array.init (Shape.rank sc) (fun i -> i))
+          in
+          if full_other_axes then begin
+            let rec locate offset = function
+              | [] -> None
+              | piece :: rest ->
+                let d = (Graph.shape g piece).(axis) in
+                if starts.(axis) >= offset && stops.(axis) <= offset + d then
+                  Some (piece, offset)
+                else locate (offset + d) rest
+            in
+            match locate 0 pieces with
+            | Some (piece, offset) ->
+              let sp = Graph.shape g piece in
+              let e = Edit.of_graph g in
+              let replacement =
+                if starts.(axis) = offset && stops.(axis) = offset + sp.(axis) then piece
+                else begin
+                  let starts' = Array.copy starts and stops' = Array.copy stops in
+                  starts'.(axis) <- starts.(axis) - offset;
+                  stops'.(axis) <- stops.(axis) - offset;
+                  Edit.add e (Primitive.Slice { starts = starts'; stops = stops' }) [ piece ]
+                end
+              in
+              Edit.redirect e ~old:nd.Graph.id ~new_:replacement;
+              results := Edit.finish e :: !results
+            | None -> ()
+          end
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+let concat_of_slices (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match nd.Graph.op with
+      | Primitive.Concat axis -> begin
+        (* All pieces are slices of the same source, adjacent along [axis],
+           whole along other axes, and together covering the source. *)
+        let pieces =
+          List.map
+            (fun p ->
+              match (Graph.op g p, Graph.inputs g p) with
+              | Primitive.Slice { starts; stops }, [ src ] -> Some (src, starts, stops)
+              | _ -> None)
+            nd.Graph.inputs
+        in
+        if List.for_all Option.is_some pieces then begin
+          let pieces = List.map Option.get pieces in
+          match pieces with
+          | [] -> ()
+          | (src0, _, _) :: _ ->
+            let s_src = Graph.shape g src0 in
+            let r = Shape.rank s_src in
+            let whole_other (starts, stops) =
+              Array.for_all
+                (fun i -> i = axis || (starts.(i) = 0 && stops.(i) = s_src.(i)))
+                (Array.init r (fun i -> i))
+            in
+            let rec adjacent offset = function
+              | [] -> offset = s_src.(axis)
+              | (src, starts, stops) :: rest ->
+                src = src0
+                && whole_other (starts, stops)
+                && starts.(axis) = offset
+                && adjacent stops.(axis) rest
+            in
+            if axis < r && adjacent 0 pieces then begin
+              let e = Edit.of_graph g in
+              Edit.redirect e ~old:nd.Graph.id ~new_:src0;
+              results := Edit.finish e :: !results
+            end
+        end
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+let apply (g : Primgraph.t) : Primgraph.t list =
+  reshape_fuse g @ slice_of_pad g @ slice_of_concat g @ concat_of_slices g

@@ -1,0 +1,98 @@
+(** Merging two MatMuls that share an operand (§3, Figure 2b third
+    transformation; Figure 9b).
+
+    [a @ b1] and [a @ b2] become [z = a @ concat(b1, b2, last)] followed by
+    two Slices — one wider, better-utilized GEMM instead of two thin ones.
+    (The paper phrases the attention instance as Pad+Split of a ones
+    vector; concatenation along the output axis is the general form.)
+    Symmetrically, [a1 @ b] and [a2 @ b] merge by concatenating along the
+    row axis. *)
+
+open Ir
+open Tensor
+
+let matmul_nodes g =
+  Array.to_list g.Graph.nodes
+  |> List.filter_map (fun nd ->
+         match nd.Graph.op with
+         | Primitive.Matmul -> begin
+           match nd.Graph.inputs with [ a; b ] -> Some (nd.Graph.id, a, b) | _ -> None
+         end
+         | _ -> None)
+
+(* Merge when the non-shared operands agree on every dimension except
+   [concat_axis_from_end] counted from the end. *)
+let mergeable (g : Primgraph.t) x1 x2 ~axis_from_end =
+  let s1 = Graph.shape g x1 and s2 = Graph.shape g x2 in
+  let r = Shape.rank s1 in
+  Shape.rank s2 = r
+  && r >= 2
+  &&
+  let ax = r - axis_from_end in
+  Array.for_all
+    (fun i -> i = ax || s1.(i) = s2.(i))
+    (Array.init r (fun i -> i))
+  |> fun ok -> ok
+
+let apply (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  let mms = matmul_nodes g in
+  let pairs =
+    List.concat_map (fun m1 -> List.map (fun m2 -> (m1, m2)) mms) mms
+    |> List.filter (fun ((id1, _, _), (id2, _, _)) -> id1 < id2)
+  in
+  List.iter
+    (fun ((id1, a1, b1), (id2, a2, b2)) ->
+      (* Node ids are topologically ordered, so operands of [id1] cannot
+         depend on [id2]; the only cycle risk is an operand of [id2]
+         depending on [id1]. *)
+      let desc1 = Graph.descendants g id1 in
+      let independent x = not (Bitset.mem desc1 x) && x <> id1 in
+      (* Shared first operand: concat second operands on the last axis. *)
+      if a1 = a2 && independent b2 && mergeable g b1 b2 ~axis_from_end:1 then begin
+        let s1 = Graph.shape g b1 in
+        let r = Shape.rank s1 in
+        let ax = r - 1 in
+        let n1 = s1.(ax) and n2 = (Graph.shape g b2).(ax) in
+        let out1 = Graph.shape g id1 in
+        let ro = Shape.rank out1 in
+        let e = Edit.of_graph g in
+        let cat = Edit.add e (Primitive.Concat ax) [ b1; b2 ] in
+        let mm = Edit.add e Primitive.Matmul [ a1; cat ] in
+        let z_shape = Edit.shape_of e mm in
+        let starts1 = Array.make ro 0 and stops1 = Array.copy z_shape in
+        stops1.(ro - 1) <- n1;
+        let starts2 = Array.make ro 0 and stops2 = Array.copy z_shape in
+        starts2.(ro - 1) <- n1;
+        stops2.(ro - 1) <- n1 + n2;
+        let sl1 = Edit.add e (Primitive.Slice { starts = starts1; stops = stops1 }) [ mm ] in
+        let sl2 = Edit.add e (Primitive.Slice { starts = starts2; stops = stops2 }) [ mm ] in
+        Edit.redirect e ~old:id1 ~new_:sl1;
+        Edit.redirect e ~old:id2 ~new_:sl2;
+        results := Edit.finish e :: !results
+      end;
+      (* Shared second operand: concat first operands on the row axis. *)
+      if b1 = b2 && independent a2 && mergeable g a1 a2 ~axis_from_end:2 then begin
+        let s1 = Graph.shape g a1 in
+        let r = Shape.rank s1 in
+        let ax = r - 2 in
+        let m1 = s1.(ax) and m2 = (Graph.shape g a2).(ax) in
+        let out1 = Graph.shape g id1 in
+        let ro = Shape.rank out1 in
+        let e = Edit.of_graph g in
+        let cat = Edit.add e (Primitive.Concat ax) [ a1; a2 ] in
+        let mm = Edit.add e Primitive.Matmul [ cat; b1 ] in
+        let z_shape = Edit.shape_of e mm in
+        let starts1 = Array.make ro 0 and stops1 = Array.copy z_shape in
+        stops1.(ro - 2) <- m1;
+        let starts2 = Array.make ro 0 and stops2 = Array.copy z_shape in
+        starts2.(ro - 2) <- m1;
+        stops2.(ro - 2) <- m1 + m2;
+        let sl1 = Edit.add e (Primitive.Slice { starts = starts1; stops = stops1 }) [ mm ] in
+        let sl2 = Edit.add e (Primitive.Slice { starts = starts2; stops = stops2 }) [ mm ] in
+        Edit.redirect e ~old:id1 ~new_:sl1;
+        Edit.redirect e ~old:id2 ~new_:sl2;
+        results := Edit.finish e :: !results
+      end)
+    pairs;
+  !results

@@ -1,0 +1,37 @@
+(** ReduceSum-to-MatMul substitution (§3, Figure 2b, first transformation).
+
+    A last-axis sum of [x : [.., m, n]] equals [x @ ones(n, 1)] reshaped —
+    turning a reduce primitive into a linear-transformation primitive that
+    subsequent transformations can merge with neighbouring MatMuls. The
+    reverse direction is deliberately not generated (it never helps). *)
+
+open Ir
+open Tensor
+
+(** [apply g] returns one rewritten graph per applicable site. *)
+let apply (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match nd.Graph.op with
+      | Primitive.Reduce (Primitive.Sum, axis) -> begin
+        match Graph.inputs g nd.Graph.id with
+        | [ x ] ->
+          let sx = Graph.shape g x in
+          let r = Shape.rank sx in
+          if r >= 2 && axis = r - 1 then begin
+            let n = sx.(r - 1) in
+            let e = Edit.of_graph g in
+            let ones = Edit.add e (Primitive.Constant (Const.ones [| n; 1 |])) [] in
+            let mm = Edit.add e Primitive.Matmul [ x; ones ] in
+            (* [.., m, 1] -> [.., m] *)
+            let target = Shape.drop_axis sx (r - 1) in
+            let rs = Edit.add e (Primitive.Reshape target) [ mm ] in
+            Edit.redirect e ~old:nd.Graph.id ~new_:rs;
+            results := Edit.finish e :: !results
+          end
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results

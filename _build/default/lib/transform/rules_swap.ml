@@ -1,0 +1,62 @@
+(** Swapping elementwise division with a subsequent MatMul (§3, Figure 2b,
+    second transformation; originally a TASO-discovered substitution).
+
+    If the divisor is a per-row scale — i.e. the second operand of the Div
+    is a [Broadcast] along the contracted (last) axis — then
+    [(x / bcast(c)) @ y = (x @ y) / bcast'(c)]: row [i] of the product is
+    scaled by [1 / c_i] either way. Moving the Div after the MatMul lets
+    the reduce-turned-MatMul fuse with its neighbour. *)
+
+open Ir
+open Tensor
+
+let apply (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  let sc = Graph.succs g in
+  Array.iter
+    (fun nd ->
+      match nd.Graph.op with
+      | Primitive.Matmul -> begin
+        match Graph.inputs g nd.Graph.id with
+        | [ d; y ] -> begin
+          match Graph.op g d with
+          | Primitive.Binary Primitive.Div -> begin
+            match Graph.inputs g d with
+            | [ x; bc ] -> begin
+              match Graph.op g bc with
+              | Primitive.Broadcast (axis, _size) ->
+                let rx = Shape.rank (Graph.shape g x) in
+                (* The broadcast must replicate along the contracted axis
+                   and feed only this Div (otherwise it is still needed). *)
+                if
+                  axis = rx - 1
+                  && sc.(d) = [ nd.Graph.id ]
+                  && Shape.equal (Graph.shape g bc) (Graph.shape g x)
+                then begin
+                  match Graph.inputs g bc with
+                  | [ c ] ->
+                    let e = Edit.of_graph g in
+                    let mm = Edit.add e Primitive.Matmul [ x; y ] in
+                    let out_shape = Edit.shape_of e mm in
+                    let r_out = Shape.rank out_shape in
+                    let bc' =
+                      Edit.add e
+                        (Primitive.Broadcast (r_out - 1, out_shape.(r_out - 1)))
+                        [ c ]
+                    in
+                    let div = Edit.add e (Primitive.Binary Primitive.Div) [ mm; bc' ] in
+                    Edit.redirect e ~old:nd.Graph.id ~new_:div;
+                    results := Edit.finish e :: !results
+                  | _ -> ()
+                end
+              | _ -> ()
+            end
+            | _ -> ()
+          end
+          | _ -> ()
+        end
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results

@@ -1,0 +1,115 @@
+(** Transpose-movement rules.
+
+    These enlarge the layout search space the case study of Figure 8
+    exploits: (a) cancelling inverse transpose pairs, (b) rewriting a
+    transposed MatMul result as a MatMul of transposed operands (so the
+    expensive product runs in the friendlier layout and the vendor kernel
+    absorbs operand transposes), and (c) commuting a Transpose with a
+    unary elementwise primitive. *)
+
+open Ir
+open Tensor
+
+let is_identity_perm perm = Array.for_all2 ( = ) perm (Array.init (Array.length perm) Fun.id)
+
+let compose p q = Array.map (fun i -> q.(i)) p
+
+(* Swap-last-two permutation of rank r. *)
+let swap_last r =
+  let p = Array.init r Fun.id in
+  p.(r - 1) <- r - 2;
+  p.(r - 2) <- r - 1;
+  p
+
+(** Transpose(Transpose(x)) with composing permutations cancels or fuses. *)
+let cancel_pairs (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match nd.Graph.op with
+      | Primitive.Transpose p_outer -> begin
+        match Graph.inputs g nd.Graph.id with
+        | [ inner ] -> begin
+          match Graph.op g inner with
+          | Primitive.Transpose p_inner -> begin
+            match Graph.inputs g inner with
+            | [ x ] ->
+              let composed = compose p_outer p_inner in
+              let e = Edit.of_graph g in
+              let replacement =
+                if is_identity_perm composed then x
+                else Edit.add e (Primitive.Transpose composed) [ x ]
+              in
+              Edit.redirect e ~old:nd.Graph.id ~new_:replacement;
+              results := Edit.finish e :: !results
+            | _ -> ()
+          end
+          | _ -> ()
+        end
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+(** Transpose of a MatMul result (last two axes) becomes a MatMul of the
+    swapped, transposed operands: [(a @ b)^T = b^T @ a^T]. *)
+let transpose_of_matmul (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match nd.Graph.op with
+      | Primitive.Transpose perm -> begin
+        match Graph.inputs g nd.Graph.id with
+        | [ mm ] -> begin
+          match (Graph.op g mm, Graph.inputs g mm) with
+          | Primitive.Matmul, [ a; b ] ->
+            let r = Shape.rank (Graph.shape g mm) in
+            if r >= 2 && perm = swap_last r then begin
+              let ra = Shape.rank (Graph.shape g a) in
+              let rb = Shape.rank (Graph.shape g b) in
+              if ra = r && rb = r then begin
+                let e = Edit.of_graph g in
+                let bt = Edit.add e (Primitive.Transpose (swap_last rb)) [ b ] in
+                let at = Edit.add e (Primitive.Transpose (swap_last ra)) [ a ] in
+                let mm' = Edit.add e Primitive.Matmul [ bt; at ] in
+                Edit.redirect e ~old:nd.Graph.id ~new_:mm';
+                results := Edit.finish e :: !results
+              end
+            end
+          | _ -> ()
+        end
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+(** Commute Transpose with a unary elementwise primitive:
+    [Unary(Transpose x) -> Transpose(Unary x)]. Moving the layout change
+    later often lets it fuse into a vendor kernel. *)
+let push_through_unary (g : Primgraph.t) : Primgraph.t list =
+  let results = ref [] in
+  Array.iter
+    (fun nd ->
+      match nd.Graph.op with
+      | Primitive.Unary u -> begin
+        match Graph.inputs g nd.Graph.id with
+        | [ t ] -> begin
+          match (Graph.op g t, Graph.inputs g t) with
+          | Primitive.Transpose perm, [ x ] ->
+            let e = Edit.of_graph g in
+            let u' = Edit.add e (Primitive.Unary u) [ x ] in
+            let t' = Edit.add e (Primitive.Transpose perm) [ u' ] in
+            Edit.redirect e ~old:nd.Graph.id ~new_:t';
+            results := Edit.finish e :: !results
+          | _ -> ()
+        end
+        | _ -> ()
+      end
+      | _ -> ())
+    g.Graph.nodes;
+  !results
+
+let apply (g : Primgraph.t) : Primgraph.t list =
+  cancel_pairs g @ transpose_of_matmul g @ push_through_unary g

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Const Fission Gpu Ir List Models Nd Opgraph Optype Rng Runtime Tensor

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Baselines Bitset Fission Gpu Graph Ir Korch List Lp Models Nd Primgraph Primitive Printf Rng Runtime Tensor

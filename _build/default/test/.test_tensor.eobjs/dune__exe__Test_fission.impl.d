@@ -1,0 +1,1 @@
+test/test_fission.ml: Alcotest Array Fission Graph Ir List Models Nd Opgraph Ops_elementwise Ops_reduce Optype Primgraph Primitive Printf Rng Runtime Shape Tensor

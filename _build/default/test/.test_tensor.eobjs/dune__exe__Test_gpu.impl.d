@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Bitset Const Gpu Graph Ir List Option Primgraph Primitive QCheck2 QCheck_alcotest

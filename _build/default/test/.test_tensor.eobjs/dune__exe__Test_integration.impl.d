@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Fission Float Gpu Graph Ir Korch List Models Nd Opgraph Optype QCheck2 QCheck_alcotest Rng Runtime Tensor

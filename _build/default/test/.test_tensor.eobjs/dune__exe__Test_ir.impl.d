@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Bitset Const Fun Graph Hashtbl Ir Korch List Nd Optype Primgraph Primitive QCheck2 QCheck_alcotest Shape_infer Tensor

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Graph Ir List Models Nd Onnx Opgraph Optype Rng Runtime Tensor

@@ -1,0 +1,1 @@
+test/test_onnx.ml: Alcotest Array Const Fission Float Graph Ir List Models Nd Onnx Primgraph Primitive QCheck2 QCheck_alcotest Rng Runtime Tensor

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Float Ir List Nd Primgraph Primitive Printf Rng Runtime String Tensor

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Fun List Nd Ops_elementwise Ops_layout Ops_linear Ops_reduce QCheck2 QCheck_alcotest Rng Shape Tensor

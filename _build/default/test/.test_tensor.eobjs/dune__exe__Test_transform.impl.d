@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Const Graph Ir List Nd Primgraph Primitive QCheck2 QCheck_alcotest Rng Runtime Tensor Transform

@@ -1,0 +1,331 @@
+(* Tests for the kernel orchestration core: execution-state enumeration
+   counts, kernel identification validity, the BLP formulation, the
+   scheduler's deadlock handling, partitioning, and end-to-end
+   orchestration equivalence. *)
+
+open Ir
+open Tensor
+
+let rng = Rng.create 777
+
+let chain_graph n =
+  let b = Primgraph.B.create () in
+  let x = Primgraph.B.input b "x" [| 8 |] in
+  let prev = ref x in
+  for _ = 1 to n do
+    prev := Primgraph.B.add b (Primitive.Unary Primitive.Relu) [ !prev ]
+  done;
+  Primgraph.B.set_outputs b [ !prev ];
+  Primgraph.B.finish b
+
+let diamond_graph () =
+  let b = Primgraph.B.create () in
+  let x = Primgraph.B.input b "x" [| 8 |] in
+  let f = Primgraph.B.add b (Primitive.Unary Primitive.Relu) [ x ] in
+  let g1 = Primgraph.B.add b (Primitive.Unary Primitive.Exp) [ f ] in
+  let g2 = Primgraph.B.add b (Primitive.Unary Primitive.Neg) [ f ] in
+  let k = Primgraph.B.add b (Primitive.Binary Primitive.Add) [ g1; g2 ] in
+  Primgraph.B.set_outputs b [ k ];
+  Primgraph.B.finish b
+
+(* ---------------- execution states ---------------- *)
+
+let test_states_chain () =
+  (* A chain of n primitives has exactly n+1 execution states. *)
+  List.iter
+    (fun n ->
+      let g = chain_graph n in
+      let states = Korch.Exec_state.enumerate g ~max_states:10_000 in
+      Alcotest.(check int) (Printf.sprintf "chain %d" n) (n + 1) (List.length states))
+    [ 1; 3; 7 ]
+
+let test_states_diamond () =
+  (* Diamond: {}, {f}, {f,g1}, {f,g2}, {f,g1,g2}, all = 6 states. *)
+  let g = diamond_graph () in
+  let states = Korch.Exec_state.enumerate g ~max_states:10_000 in
+  Alcotest.(check int) "diamond states" 6 (List.length states)
+
+let test_states_width_explosion_guard () =
+  (* A wide graph of 18 independent primitives has 2^18 states: the guard
+     must fire. *)
+  let b = Primgraph.B.create () in
+  let x = Primgraph.B.input b "x" [| 2 |] in
+  let outs = List.init 18 (fun _ -> Primgraph.B.add b (Primitive.Unary Primitive.Relu) [ x ]) in
+  Primgraph.B.set_outputs b outs;
+  let g = Primgraph.B.finish b in
+  match Korch.Exec_state.enumerate g ~max_states:1000 with
+  | _ -> Alcotest.fail "expected Too_many_states"
+  | exception Korch.Exec_state.Too_many_states _ -> ()
+
+(* ---------------- kernel identification ---------------- *)
+
+let identify g =
+  Korch.Kernel_identifier.identify Korch.Kernel_identifier.default_config ~spec:Gpu.Spec.v100
+    ~precision:Gpu.Precision.FP32 ~cache:(Gpu.Profile_cache.create ()) g
+
+let test_identifier_chain_counts () =
+  (* A chain of n <= max_kernel_prims primitives has n(n+1)/2 contiguous
+     convex subgraphs. *)
+  let g = chain_graph 5 in
+  let _, stats = identify g in
+  Alcotest.(check int) "subgraphs" (5 * 6 / 2) stats.Korch.Kernel_identifier.distinct_subgraphs
+
+let test_identifier_validity () =
+  let g = diamond_graph () in
+  let cands, _ = identify g in
+  Alcotest.(check bool) "has candidates" true (Array.length cands > 0);
+  Array.iter
+    (fun (c : Korch.Candidate.t) ->
+      Alcotest.(check bool) "members convex" true (Graph.is_convex g c.Korch.Candidate.members);
+      Alcotest.(check bool) "outputs are members" true
+        (List.for_all (fun o -> Bitset.mem c.Korch.Candidate.members o) c.Korch.Candidate.outputs);
+      Alcotest.(check bool) "outputs non-empty" true (c.Korch.Candidate.outputs <> []);
+      Alcotest.(check bool) "positive latency" true (c.Korch.Candidate.latency_us > 0.0);
+      (* outputs satisfy Definition 3 relative to the boundary *)
+      let boundary = Graph.boundary_outputs g c.Korch.Candidate.members in
+      Alcotest.(check bool) "outputs in boundary" true
+        (List.for_all (fun o -> List.mem o boundary) c.Korch.Candidate.outputs))
+    cands
+
+let test_identifier_singletons_present () =
+  let g = diamond_graph () in
+  let cands, _ = identify g in
+  List.iter
+    (fun id ->
+      let found =
+        Array.exists
+          (fun (c : Korch.Candidate.t) ->
+            Bitset.elements c.Korch.Candidate.members = [ id ]
+            && c.Korch.Candidate.outputs = [ id ])
+          cands
+      in
+      Alcotest.(check bool) (Printf.sprintf "singleton %d" id) true found)
+    (Primgraph.non_source_nodes g)
+
+(* ---------------- BLP formulation ---------------- *)
+
+let test_blp_rows () =
+  let g = chain_graph 2 in
+  let cands, _ = identify g in
+  let p = Korch.Blp_formulation.build g cands ~extra_cuts:[] in
+  Alcotest.(check int) "one variable per candidate" (Array.length cands)
+    (Array.length p.Lp.Ilp.minimize);
+  (* output rows: 1 graph output; dependency rows: one per (kernel,
+     non-source ext input). *)
+  let expected_dep =
+    Array.to_list cands
+    |> List.concat_map (fun (c : Korch.Candidate.t) ->
+           List.filter
+             (fun j -> not (Primitive.is_source (Graph.op g j)))
+             c.Korch.Candidate.ext_inputs)
+    |> List.length
+  in
+  Alcotest.(check int) "row count" (1 + expected_dep) (List.length p.Lp.Ilp.rows)
+
+let test_blp_cut_rows () =
+  let g = chain_graph 2 in
+  let cands, _ = identify g in
+  let p = Korch.Blp_formulation.build g cands ~extra_cuts:[ [ 0; 1 ] ] in
+  let le_rows =
+    List.filter (fun (_, rel, _) -> rel = Lp.Simplex.Le) p.Lp.Ilp.rows
+  in
+  Alcotest.(check int) "one cut row" 1 (List.length le_rows);
+  match le_rows with
+  | [ (_, _, b) ] -> Alcotest.(check (float 1e-9)) "cut rhs" 1.0 b
+  | _ -> assert false
+
+(* ---------------- scheduler ---------------- *)
+
+let test_scheduler_orders_dependencies () =
+  let g = chain_graph 3 in
+  let n = Graph.length g in
+  let prims = Primgraph.non_source_nodes g in
+  let cand id =
+    Korch.Candidate.
+      {
+        members = Bitset.of_list n [ id ];
+        outputs = [ id ];
+        ext_inputs = Graph.external_inputs g (Bitset.of_list n [ id ]);
+        latency_us = 1.0;
+        backend = Gpu.Cost_model.Tvm;
+      }
+  in
+  let cands = Array.of_list (List.map cand (List.rev prims)) in
+  (* selected in reverse order: the scheduler must still find an order *)
+  match Korch.Scheduler.schedule g cands ~selected:[ 0; 1; 2 ] with
+  | Ok order ->
+    (* kernel publishing the first chain node must run first *)
+    Alcotest.(check int) "first kernel" 2 (List.hd order)
+  | Error _ -> Alcotest.fail "schedulable set reported stuck"
+
+let test_scheduler_detects_deadlock () =
+  (* Two kernels publishing each other's inputs: a -> b and c -> d with
+     K1 = {a, d} publishing a, K2 = {b, c} publishing c. *)
+  let b = Primgraph.B.create () in
+  let x = Primgraph.B.input b "x" [| 2 |] in
+  let a = Primgraph.B.add b (Primitive.Unary Primitive.Relu) [ x ] in
+  let b2 = Primgraph.B.add b (Primitive.Unary Primitive.Exp) [ a ] in
+  let c = Primgraph.B.add b (Primitive.Unary Primitive.Neg) [ x ] in
+  let d = Primgraph.B.add b (Primitive.Unary Primitive.Tanh) [ c ] in
+  Primgraph.B.set_outputs b [ b2; d ];
+  let g = Primgraph.B.finish b in
+  let n = Graph.length g in
+  let k1 =
+    Korch.Candidate.
+      { members = Bitset.of_list n [ a; d ]; outputs = [ a; d ];
+        ext_inputs = Graph.external_inputs g (Bitset.of_list n [ a; d ]);
+        latency_us = 1.0; backend = Gpu.Cost_model.Tvm }
+  in
+  let k2 =
+    Korch.Candidate.
+      { members = Bitset.of_list n [ b2; c ]; outputs = [ b2; c ];
+        ext_inputs = Graph.external_inputs g (Bitset.of_list n [ b2; c ]);
+        latency_us = 1.0; backend = Gpu.Cost_model.Tvm }
+  in
+  match Korch.Scheduler.schedule g [| k1; k2 |] ~selected:[ 0; 1 ] with
+  | Ok _ -> Alcotest.fail "deadlocked pair scheduled"
+  | Error stuck -> Alcotest.(check (list int)) "both stuck" [ 0; 1 ] (List.sort compare stuck)
+
+(* ---------------- partition + stitch ---------------- *)
+
+let test_partition_covers_once () =
+  let e = Models.Registry.candy in
+  let g = e.Models.Registry.build_small () in
+  let pg, _ = Fission.Engine.run g in
+  let segments = Korch.Partition.split pg ~max_prims:7 in
+  Alcotest.(check bool) "multiple segments" true (List.length segments > 1);
+  (* segments partition the executable primitives: counts add up *)
+  let total_prims =
+    List.fold_left
+      (fun acc s -> acc + List.length (Primgraph.non_source_nodes s.Korch.Partition.local))
+      0 segments
+  in
+  Alcotest.(check int) "all primitives covered once"
+    (List.length (Primgraph.non_source_nodes pg)) total_prims
+
+let test_partition_size_bound () =
+  let e = Models.Registry.yolox in
+  let g = e.Models.Registry.build_small () in
+  let pg, _ = Fission.Engine.run g in
+  let segments = Korch.Partition.split pg ~max_prims:9 in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "segment size bound" true
+        (List.length (Primgraph.non_source_nodes s.Korch.Partition.local) <= 9))
+    segments
+
+let test_placeholder_roundtrip () =
+  Alcotest.(check (option int)) "parse" (Some 42)
+    (Korch.Partition.parse_placeholder (Korch.Partition.placeholder_name 42));
+  Alcotest.(check (option int)) "reject plain names" None
+    (Korch.Partition.parse_placeholder "input")
+
+(* ---------------- orchestrator end-to-end ---------------- *)
+
+let orch_cfg = Korch.Orchestrator.default_config
+
+let attention_graph () = Models.Segformer.attention_subgraph ~batch:1 ~tokens:16 ~channels:8 ()
+
+let test_orchestrator_attention_equivalence () =
+  let g = attention_graph () in
+  let r = Korch.Orchestrator.run orch_cfg g in
+  (match Runtime.Executor.validate r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invalid plan: %s" m);
+  let inputs =
+    [ ("q", Nd.randn rng [| 1; 16; 8 |]); ("k", Nd.randn rng [| 1; 16; 8 |]);
+      ("v", Nd.randn rng [| 1; 16; 8 |]) ]
+  in
+  let expected = Runtime.Interp.run g ~inputs in
+  let got = Runtime.Executor.run r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan ~inputs in
+  List.iter2
+    (fun e a ->
+      Alcotest.(check bool) "plan output matches interpreter" true
+        (Nd.allclose ~rtol:1e-5 ~atol:1e-7 e a))
+    expected got
+
+let test_orchestrator_beats_eager () =
+  let g = attention_graph () in
+  let r = Korch.Orchestrator.run orch_cfg g in
+  let env =
+    Baselines.Common.make_env ~spec:orch_cfg.Korch.Orchestrator.spec
+      ~precision:orch_cfg.Korch.Orchestrator.precision g
+  in
+  let eager = Baselines.Eager.run env in
+  Alcotest.(check bool) "korch <= eager" true
+    (r.Korch.Orchestrator.plan.Runtime.Plan.total_latency_us
+    <= eager.Runtime.Plan.total_latency_us +. 1e-6)
+
+let test_orchestrator_stats_populated () =
+  let g = attention_graph () in
+  let r = Korch.Orchestrator.run orch_cfg g in
+  Alcotest.(check bool) "states > 0" true (r.Korch.Orchestrator.total_states > 0);
+  Alcotest.(check bool) "candidates > 0" true (r.Korch.Orchestrator.total_candidates > 0);
+  Alcotest.(check bool) "tuning time accumulated" true (r.Korch.Orchestrator.tuning_time_s > 0.0);
+  Alcotest.(check bool) "kernels selected" true
+    (Runtime.Plan.kernel_count r.Korch.Orchestrator.plan > 0)
+
+let test_orchestrator_softmax_fissioned_into_multiple_kernels () =
+  (* The headline behaviour: softmax primitives end up in more than one
+     kernel (mapped together with neighbours), not as one monolithic
+     kernel per operator. *)
+  let g = attention_graph () in
+  let r = Korch.Orchestrator.run orch_cfg g in
+  let plan_kernels = Runtime.Plan.kernel_count r.Korch.Orchestrator.plan in
+  let eager_ops = 6 (* transpose matmul mul softmax matmul + const? *) in
+  ignore eager_ops;
+  Alcotest.(check bool) "multiple kernels" true (plan_kernels >= 2)
+
+let test_orchestrator_redundancy_nonnegative () =
+  let g = Models.Efficientvit.fig8_attention_block ~batch:1 ~tokens:32 ~channels:8 () in
+  let r = Korch.Orchestrator.run orch_cfg g in
+  Alcotest.(check bool) "redundancy >= 0" true
+    (Runtime.Plan.redundancy r.Korch.Orchestrator.plan >= 0);
+  (match Runtime.Executor.validate r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invalid plan: %s" m)
+
+let test_orchestrator_partitioned_equivalence () =
+  (* Small Candy forced through many partitions still computes the same
+     function. *)
+  let g = Models.Candy.build ~batch:1 ~resolution:16 ~width:4 ~blocks:1 () in
+  let cfg = { orch_cfg with Korch.Orchestrator.partition_max_prims = 6 } in
+  let r = Korch.Orchestrator.run cfg g in
+  let inputs = [ ("input", Nd.randn rng [| 1; 3; 16; 16 |]) ] in
+  let expected = Runtime.Interp.run g ~inputs in
+  let got = Runtime.Executor.run r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan ~inputs in
+  List.iter2
+    (fun e a ->
+      Alcotest.(check bool) "partitioned plan matches" true
+        (Nd.allclose ~rtol:1e-4 ~atol:1e-6 e a))
+    expected got
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "exec states",
+        [ Alcotest.test_case "chain counts" `Quick test_states_chain;
+          Alcotest.test_case "diamond count" `Quick test_states_diamond;
+          Alcotest.test_case "width guard" `Quick test_states_width_explosion_guard ] );
+      ( "kernel identifier",
+        [ Alcotest.test_case "chain subgraphs" `Quick test_identifier_chain_counts;
+          Alcotest.test_case "candidate validity" `Quick test_identifier_validity;
+          Alcotest.test_case "singletons present" `Quick test_identifier_singletons_present ] );
+      ( "blp",
+        [ Alcotest.test_case "rows" `Quick test_blp_rows;
+          Alcotest.test_case "cut rows" `Quick test_blp_cut_rows ] );
+      ( "scheduler",
+        [ Alcotest.test_case "orders" `Quick test_scheduler_orders_dependencies;
+          Alcotest.test_case "deadlock" `Quick test_scheduler_detects_deadlock ] );
+      ( "partition",
+        [ Alcotest.test_case "covers once" `Quick test_partition_covers_once;
+          Alcotest.test_case "size bound" `Quick test_partition_size_bound;
+          Alcotest.test_case "placeholders" `Quick test_placeholder_roundtrip ] );
+      ( "orchestrator",
+        [ Alcotest.test_case "attention equivalence" `Quick test_orchestrator_attention_equivalence;
+          Alcotest.test_case "beats eager" `Quick test_orchestrator_beats_eager;
+          Alcotest.test_case "stats" `Quick test_orchestrator_stats_populated;
+          Alcotest.test_case "softmax split" `Quick test_orchestrator_softmax_fissioned_into_multiple_kernels;
+          Alcotest.test_case "redundancy valid" `Quick test_orchestrator_redundancy_nonnegative;
+          Alcotest.test_case "partitioned equivalence" `Quick test_orchestrator_partitioned_equivalence ] );
+    ]

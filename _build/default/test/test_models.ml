@@ -1,0 +1,176 @@
+(* Tests for the model zoo: structural validity at evaluation scale,
+   expected operator mix per architecture, builder helpers, determinism. *)
+
+open Ir
+
+let ops_of (g : Opgraph.t) = Array.to_list (Array.map (fun nd -> nd.Graph.op) g.Graph.nodes)
+
+let count p g = List.length (List.filter p (ops_of g))
+
+let has p g = count p g > 0
+
+(* ---------------- registry ---------------- *)
+
+let test_registry_complete () =
+  Alcotest.(check int) "five workloads (§6.1)" 5 (List.length Models.Registry.all);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true (Models.Registry.find name <> None))
+    [ "candy"; "yolov4"; "yolox"; "segformer"; "efficientvit" ];
+  Alcotest.(check bool) "unknown rejected" true (Models.Registry.find "resnet" = None)
+
+let test_paper_scale_graphs_valid () =
+  (* Building at evaluation scale must produce valid graphs with a single
+     image input of the paper's resolution. *)
+  List.iter
+    (fun e ->
+      let g = e.Models.Registry.build () in
+      Graph.validate g;
+      let inputs =
+        List.filter_map
+          (fun op -> match op with Optype.Input n -> Some n | _ -> None)
+          (ops_of g)
+      in
+      Alcotest.(check (list string)) (e.Models.Registry.name ^ " single input") [ "input" ]
+        inputs;
+      let input_node =
+        Array.to_list g.Graph.nodes
+        |> List.find (fun nd -> match nd.Graph.op with Optype.Input _ -> true | _ -> false)
+      in
+      Alcotest.(check int)
+        (e.Models.Registry.name ^ " resolution")
+        e.Models.Registry.paper_resolution
+        input_node.Graph.shape.(2))
+    Models.Registry.all
+
+let test_batch_parameter () =
+  let g = Models.Registry.segformer.Models.Registry.build ~batch:4 () in
+  let input =
+    Array.to_list g.Graph.nodes
+    |> List.find (fun nd -> match nd.Graph.op with Optype.Input _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "batch dim" 4 input.Graph.shape.(0)
+
+let test_determinism () =
+  let a = Onnx.Serialize.opgraph_to_string (Models.Registry.candy.Models.Registry.build ()) in
+  let b = Onnx.Serialize.opgraph_to_string (Models.Registry.candy.Models.Registry.build ()) in
+  Alcotest.(check bool) "identical rebuilds" true (a = b)
+
+(* ---------------- architecture fingerprints ---------------- *)
+
+let test_candy_structure () =
+  let g = Models.Registry.candy.Models.Registry.build () in
+  Alcotest.(check bool) "instance norms" true
+    (has (function Optype.InstanceNorm _ -> true | _ -> false) g);
+  Alcotest.(check bool) "upsampling decoder" true
+    (has (function Optype.Upsample _ -> true | _ -> false) g);
+  Alcotest.(check bool) "tanh output" true (has (( = ) Optype.Tanh) g);
+  Alcotest.(check bool) "reflection-style pads" true
+    (has (function Optype.Pad _ -> true | _ -> false) g)
+
+let test_yolov4_structure () =
+  let g = Models.Registry.yolov4.Models.Registry.build () in
+  Alcotest.(check bool) "mish backbone" true (has (( = ) Optype.Mish) g);
+  Alcotest.(check bool) "leaky relu neck" true
+    (has (function Optype.LeakyRelu _ -> true | _ -> false) g);
+  (* SPP: three max-pools with kernels 5, 9, 13 *)
+  let pools =
+    List.filter_map
+      (fun op -> match op with Optype.MaxPool { kernel = k, _; _ } -> Some k | _ -> None)
+      (ops_of g)
+  in
+  Alcotest.(check (list int)) "spp pools" [ 5; 9; 13 ] (List.sort compare pools);
+  Alcotest.(check int) "three detection heads" 3 (List.length g.Graph.outputs)
+
+let test_yolox_structure () =
+  let g = Models.Registry.yolox.Models.Registry.build () in
+  Alcotest.(check bool) "silu activations" true (has (( = ) Optype.Silu) g);
+  (* Focus stem: four slices *)
+  Alcotest.(check bool) "focus slices" true
+    (count (function Optype.Slice _ -> true | _ -> false) g >= 4);
+  Alcotest.(check int) "three heads" 3 (List.length g.Graph.outputs)
+
+let test_segformer_structure () =
+  let g = Models.Registry.segformer.Models.Registry.build () in
+  Alcotest.(check int) "four stages -> four softmaxes" 4
+    (count (function Optype.Softmax _ -> true | _ -> false) g);
+  Alcotest.(check bool) "layer norms" true
+    (has (function Optype.LayerNorm _ -> true | _ -> false) g);
+  Alcotest.(check bool) "gelu mix-ffn" true (has (( = ) Optype.Gelu) g)
+
+let test_efficientvit_structure () =
+  let g = Models.Registry.efficientvit.Models.Registry.build () in
+  (* ReLU linear attention: no softmax anywhere *)
+  Alcotest.(check int) "no softmax" 0 (count (function Optype.Softmax _ -> true | _ -> false) g);
+  Alcotest.(check bool) "reduce-sum normalizer" true
+    (has (function Optype.ReduceSum _ -> true | _ -> false) g);
+  Alcotest.(check bool) "global pool head" true (has (( = ) Optype.GlobalAvgPool) g)
+
+(* ---------------- blocks ---------------- *)
+
+let test_blocks_attention_shapes () =
+  let ctx = Models.Blocks.create () in
+  let q = Opgraph.B.input ctx.Models.Blocks.b "q" [| 2; 8; 16 |] in
+  let k = Opgraph.B.input ctx.Models.Blocks.b "k" [| 2; 8; 16 |] in
+  let v = Opgraph.B.input ctx.Models.Blocks.b "v" [| 2; 8; 16 |] in
+  let o = Models.Blocks.softmax_attention ctx q k v in
+  Alcotest.(check (array int)) "softmax attention keeps shape" [| 2; 8; 16 |]
+    (Opgraph.B.shape_of ctx.Models.Blocks.b o);
+  let o2 = Models.Blocks.relu_linear_attention ctx q k v in
+  Alcotest.(check (array int)) "linear attention keeps shape" [| 2; 8; 16 |]
+    (Opgraph.B.shape_of ctx.Models.Blocks.b o2)
+
+let test_blocks_flatten_roundtrip () =
+  let open Tensor in
+  let ctx = Models.Blocks.create () in
+  let x = Opgraph.B.input ctx.Models.Blocks.b "x" [| 1; 3; 4; 5 |] in
+  let t = Models.Blocks.flatten_spatial ctx x in
+  Alcotest.(check (array int)) "tokens" [| 1; 20; 3 |]
+    (Opgraph.B.shape_of ctx.Models.Blocks.b t);
+  let back = Models.Blocks.unflatten_spatial ctx t ~h:4 ~w:5 in
+  Opgraph.B.set_outputs ctx.Models.Blocks.b [ back ];
+  let g = Opgraph.B.finish ctx.Models.Blocks.b in
+  let v = Nd.randn (Rng.create 2) [| 1; 3; 4; 5 |] in
+  match Runtime.Interp.run g ~inputs:[ ("x", v) ] with
+  | [ out ] -> Alcotest.(check bool) "roundtrip identity" true (Nd.equal out v)
+  | _ -> Alcotest.fail "arity"
+
+let test_weight_scaling () =
+  let open Tensor in
+  (* conv weights are scaled by 1/sqrt(fan-in): their sample variance is
+     close to 1/fan_in. *)
+  let ctx = Models.Blocks.create () in
+  let w = Models.Blocks.weight ctx [| 8; 16; 3; 3 |] in
+  let g =
+    let b = ctx.Models.Blocks.b in
+    Opgraph.B.set_outputs b [ w ];
+    Opgraph.B.finish b
+  in
+  match Runtime.Interp.run g ~inputs:[] with
+  | [ t ] ->
+    let n = float_of_int (Nd.numel t) in
+    let var = Array.fold_left (fun a v -> a +. (v *. v)) 0.0 t.Nd.data /. n in
+    let expected = 1.0 /. (16.0 *. 9.0) in
+    Alcotest.(check bool) "variance ~ 1/fan_in" true
+      (var > expected /. 2.0 && var < expected *. 2.0)
+  | _ -> Alcotest.fail "arity"
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "registry",
+        [ Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "paper scale valid" `Quick test_paper_scale_graphs_valid;
+          Alcotest.test_case "batch parameter" `Quick test_batch_parameter;
+          Alcotest.test_case "deterministic" `Quick test_determinism ] );
+      ( "architectures",
+        [ Alcotest.test_case "candy" `Quick test_candy_structure;
+          Alcotest.test_case "yolov4" `Quick test_yolov4_structure;
+          Alcotest.test_case "yolox" `Quick test_yolox_structure;
+          Alcotest.test_case "segformer" `Quick test_segformer_structure;
+          Alcotest.test_case "efficientvit" `Quick test_efficientvit_structure ] );
+      ( "blocks",
+        [ Alcotest.test_case "attention shapes" `Quick test_blocks_attention_shapes;
+          Alcotest.test_case "flatten roundtrip" `Quick test_blocks_flatten_roundtrip;
+          Alcotest.test_case "weight scaling" `Quick test_weight_scaling ] );
+    ]

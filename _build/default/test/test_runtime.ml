@@ -1,0 +1,211 @@
+(* Tests for the runtime layer: plan bookkeeping, executor error handling
+   (failure injection), the multi-stream projection, and DOT export. *)
+
+open Ir
+open Tensor
+
+let diamond () =
+  let b = Primgraph.B.create () in
+  let x = Primgraph.B.input b "x" [| 4 |] in
+  let f = Primgraph.B.add b (Primitive.Unary Primitive.Relu) [ x ] in
+  let g1 = Primgraph.B.add b (Primitive.Unary Primitive.Exp) [ f ] in
+  let g2 = Primgraph.B.add b (Primitive.Unary Primitive.Neg) [ f ] in
+  let k = Primgraph.B.add b (Primitive.Binary Primitive.Add) [ g1; g2 ] in
+  Primgraph.B.set_outputs b [ k ];
+  (Primgraph.B.finish b, f, g1, g2, k)
+
+let kernel ?(latency = 1.0) prims outputs =
+  Runtime.Plan.{ prims; outputs; latency_us = latency; backend = "tvm" }
+
+(* ---------------- plan bookkeeping ---------------- *)
+
+let test_plan_totals () =
+  let p = Runtime.Plan.make [ kernel ~latency:2.0 [ 1 ] [ 1 ]; kernel ~latency:3.5 [ 2 ] [ 2 ] ] in
+  Alcotest.(check (float 1e-9)) "total" 5.5 p.Runtime.Plan.total_latency_us;
+  Alcotest.(check int) "count" 2 (Runtime.Plan.kernel_count p);
+  Alcotest.(check int) "no redundancy" 0 (Runtime.Plan.redundancy p)
+
+let test_plan_redundancy () =
+  let p = Runtime.Plan.make [ kernel [ 1; 2 ] [ 2 ]; kernel [ 1; 3 ] [ 3 ] ] in
+  Alcotest.(check int) "prim 1 twice" 1 (Runtime.Plan.redundancy p)
+
+(* ---------------- executor failure injection ---------------- *)
+
+let test_executor_happy_path () =
+  let g, f, g1, g2, k = diamond () in
+  let plan =
+    Runtime.Plan.make
+      [ kernel [ f ] [ f ]; kernel [ g1 ] [ g1 ]; kernel [ g2 ] [ g2 ]; kernel [ k ] [ k ] ]
+  in
+  let x = Nd.randn (Rng.create 3) [| 4 |] in
+  (match Runtime.Executor.validate g plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "unexpected: %s" m);
+  match
+    (Runtime.Executor.run g plan ~inputs:[ ("x", x) ], Runtime.Prim_interp.run g ~inputs:[ ("x", x) ])
+  with
+  | [ a ], [ b ] -> Alcotest.(check bool) "matches" true (Nd.equal a b)
+  | _ -> Alcotest.fail "arity"
+
+let test_executor_missing_dependency () =
+  let g, _, g1, g2, k = diamond () in
+  (* f never published and not recomputed: kernel {g1} reads a missing
+     tensor. *)
+  let plan = Runtime.Plan.make [ kernel [ g1 ] [ g1 ]; kernel [ g2 ] [ g2 ]; kernel [ k ] [ k ] ] in
+  (match Runtime.Executor.validate g plan with
+  | Ok () -> Alcotest.fail "validation should fail"
+  | Error _ -> ());
+  match Runtime.Executor.run g plan ~inputs:[ ("x", Nd.zeros [| 4 |]) ] with
+  | _ -> Alcotest.fail "run should fail"
+  | exception Runtime.Executor.Invalid_plan _ -> ()
+
+let test_executor_missing_output () =
+  let g, f, g1, g2, _ = diamond () in
+  let plan = Runtime.Plan.make [ kernel [ f ] [ f ]; kernel [ g1 ] [ g1 ]; kernel [ g2 ] [ g2 ] ] in
+  match Runtime.Executor.validate g plan with
+  | Ok () -> Alcotest.fail "graph output never produced"
+  | Error m -> Alcotest.(check bool) "mentions output" true (String.length m > 0)
+
+let test_executor_nonconvex_kernel () =
+  let g, f, _, _, k = diamond () in
+  (* {f, k} skips the middle nodes: non-convex. *)
+  let plan = Runtime.Plan.make [ kernel [ f; k ] [ k ] ] in
+  match Runtime.Executor.validate g plan with
+  | Ok () -> Alcotest.fail "non-convex kernel accepted"
+  | Error _ -> ()
+
+let test_executor_output_not_member () =
+  let g, f, g1, _, _ = diamond () in
+  (* g1 is not a member of the kernel, so it cannot be published by it. *)
+  let plan = Runtime.Plan.make [ kernel [ f ] [ f; g1 ] ] in
+  (match Runtime.Executor.validate g plan with
+  | Ok () -> Alcotest.fail "foreign output accepted"
+  | Error _ -> ());
+  (* Out-of-range ids are also rejected, not crashed on. *)
+  let plan = Runtime.Plan.make [ kernel [ f ] [ f; 99 ] ] in
+  match Runtime.Executor.validate g plan with
+  | Ok () -> Alcotest.fail "out-of-range output accepted"
+  | Error _ -> ()
+
+let test_executor_redundant_plan_ok () =
+  (* Both branch kernels recompute f internally; f is never published. *)
+  let g, f, g1, g2, k = diamond () in
+  let plan =
+    Runtime.Plan.make
+      [ kernel [ f; g1 ] [ g1 ]; kernel [ f; g2 ] [ g2 ]; kernel [ k ] [ k ] ]
+  in
+  (match Runtime.Executor.validate g plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "redundant plan rejected: %s" m);
+  let x = Nd.randn (Rng.create 4) [| 4 |] in
+  match
+    (Runtime.Executor.run g plan ~inputs:[ ("x", x) ], Runtime.Prim_interp.run g ~inputs:[ ("x", x) ])
+  with
+  | [ a ], [ b ] -> Alcotest.(check bool) "matches" true (Nd.equal a b)
+  | _ -> Alcotest.fail "arity"
+
+(* ---------------- multi-stream projection ---------------- *)
+
+let branchy_plan () =
+  let g, f, g1, g2, k = diamond () in
+  let plan =
+    Runtime.Plan.make
+      [ kernel ~latency:2.0 [ f ] [ f ]; kernel ~latency:3.0 [ g1 ] [ g1 ];
+        kernel ~latency:3.0 [ g2 ] [ g2 ]; kernel ~latency:1.0 [ k ] [ k ] ]
+  in
+  (g, plan)
+
+let test_multistream_one_stream_is_sequential () =
+  let g, plan = branchy_plan () in
+  let a = Runtime.Multistream.analyze g plan ~streams:1 in
+  Alcotest.(check (float 1e-9)) "1 stream = Eq.2" a.Runtime.Multistream.sequential_us
+    a.Runtime.Multistream.makespan_us
+
+let test_multistream_two_streams_overlap_branches () =
+  let g, plan = branchy_plan () in
+  let a = Runtime.Multistream.analyze g plan ~streams:2 in
+  (* f (2) then g1 || g2 (3) then k (1) = 6 *)
+  Alcotest.(check (float 1e-9)) "branches overlap" 6.0 a.Runtime.Multistream.makespan_us;
+  Alcotest.(check (float 1e-9)) "critical path" 6.0 a.Runtime.Multistream.critical_path_us
+
+let test_multistream_monotone () =
+  let g, plan = branchy_plan () in
+  let prev = ref Float.infinity in
+  List.iter
+    (fun s ->
+      let a = Runtime.Multistream.analyze g plan ~streams:s in
+      Alcotest.(check bool) "more streams never slower" true
+        (a.Runtime.Multistream.makespan_us <= !prev +. 1e-9);
+      Alcotest.(check bool) "never beats critical path" true
+        (a.Runtime.Multistream.makespan_us >= a.Runtime.Multistream.critical_path_us -. 1e-9);
+      prev := a.Runtime.Multistream.makespan_us)
+    [ 1; 2; 3; 4 ]
+
+let test_parallelism_of_chain_is_one () =
+  let b = Primgraph.B.create () in
+  let x = Primgraph.B.input b "x" [| 4 |] in
+  let a = Primgraph.B.add b (Primitive.Unary Primitive.Relu) [ x ] in
+  let c = Primgraph.B.add b (Primitive.Unary Primitive.Exp) [ a ] in
+  Primgraph.B.set_outputs b [ c ];
+  let g = Primgraph.B.finish b in
+  let plan = Runtime.Plan.make [ kernel [ a ] [ a ]; kernel [ c ] [ c ] ] in
+  Alcotest.(check (float 1e-9)) "chain parallelism" 1.0 (Runtime.Multistream.parallelism g plan)
+
+(* ---------------- DOT export ---------------- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dot_graph () =
+  let g, _, _, _, _ = diamond () in
+  let dot = Runtime.Dot_export.graph_to_dot g in
+  Alcotest.(check bool) "digraph" true (contains ~needle:"digraph" dot);
+  Alcotest.(check bool) "has relu node" true (contains ~needle:"relu" dot);
+  Alcotest.(check bool) "has edges" true (contains ~needle:"->" dot)
+
+let test_dot_plan_clusters () =
+  let g, plan = branchy_plan () in
+  let dot = Runtime.Dot_export.plan_to_dot g plan in
+  List.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cluster %d" i)
+        true
+        (contains ~needle:(Printf.sprintf "cluster_k%d" i) dot))
+    plan.Runtime.Plan.kernels
+
+let test_dot_redundant_copies () =
+  let g, f, g1, g2, k = diamond () in
+  let plan =
+    Runtime.Plan.make [ kernel [ f; g1 ] [ g1 ]; kernel [ f; g2 ] [ g2 ]; kernel [ k ] [ k ] ]
+  in
+  let dot = Runtime.Dot_export.plan_to_dot g plan in
+  (* the redundant primitive f appears once per kernel cluster *)
+  Alcotest.(check bool) "copy in k0" true (contains ~needle:(Printf.sprintf "k0n%d" f) dot);
+  Alcotest.(check bool) "copy in k1" true (contains ~needle:(Printf.sprintf "k1n%d" f) dot)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "plan",
+        [ Alcotest.test_case "totals" `Quick test_plan_totals;
+          Alcotest.test_case "redundancy" `Quick test_plan_redundancy ] );
+      ( "executor",
+        [ Alcotest.test_case "happy path" `Quick test_executor_happy_path;
+          Alcotest.test_case "missing dependency" `Quick test_executor_missing_dependency;
+          Alcotest.test_case "missing output" `Quick test_executor_missing_output;
+          Alcotest.test_case "non-convex kernel" `Quick test_executor_nonconvex_kernel;
+          Alcotest.test_case "foreign output" `Quick test_executor_output_not_member;
+          Alcotest.test_case "redundant plan" `Quick test_executor_redundant_plan_ok ] );
+      ( "multistream",
+        [ Alcotest.test_case "1 stream sequential" `Quick test_multistream_one_stream_is_sequential;
+          Alcotest.test_case "2 streams overlap" `Quick test_multistream_two_streams_overlap_branches;
+          Alcotest.test_case "monotone" `Quick test_multistream_monotone;
+          Alcotest.test_case "chain parallelism" `Quick test_parallelism_of_chain_is_one ] );
+      ( "dot",
+        [ Alcotest.test_case "graph" `Quick test_dot_graph;
+          Alcotest.test_case "plan clusters" `Quick test_dot_plan_clusters;
+          Alcotest.test_case "redundant copies" `Quick test_dot_redundant_copies ] );
+    ]
