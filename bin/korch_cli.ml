@@ -5,7 +5,8 @@
      korch optimize -m MODEL [...]      orchestrate a model, print the report
      korch compare -m MODEL [...]       Korch vs all fusion baselines
      korch export -m MODEL -o FILE      write the model as ONNX-JSON
-     korch run FILE                     optimize + execute an ONNX-JSON graph *)
+     korch run FILE                     optimize + execute an ONNX-JSON graph
+     korch check [-m MODEL | FILE]      static verification of every pipeline stage *)
 
 open Cmdliner
 
@@ -180,6 +181,94 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export a model as an ONNX-JSON document")
     Term.(const export_action $ model_arg $ batch_arg $ small_arg $ output)
 
+(* ------------------------- check ------------------------ *)
+
+let print_report ~verbose title report =
+  let shown =
+    if verbose then report
+    else
+      List.filter
+        (fun (d : Verify.Diagnostics.diag) -> d.Verify.Diagnostics.severity <> Verify.Diagnostics.Info)
+        report
+  in
+  let e, w, i = Verify.Diagnostics.count_severity report in
+  Printf.printf "%-22s %d error(s), %d warning(s), %d info\n" title e w i;
+  List.iter (fun d -> Format.printf "  %a@." Verify.Diagnostics.pp_diag d) shown
+
+let check_action model file gpu precision batch small window rules verbose =
+  let g =
+    match (model, file) with
+    | Some m, None -> build_graph (find_model m) ~small ~batch
+    | None, Some f -> begin
+      let ic = open_in f in
+      let len = in_channel_length ic in
+      let doc = really_input_string ic len in
+      close_in ic;
+      match Onnx.Deserialize.opgraph_of_string doc with
+      | g -> g
+      | exception e ->
+        Printf.printf "%s does not parse as a korch-onnx-json graph: %s\ncheck: FAILED\n" f
+          (Printexc.to_string e);
+        exit 1
+    end
+    | _ ->
+      prerr_endline "check: specify exactly one of -m MODEL or a FILE argument";
+      exit 2
+  in
+  let failed = ref false in
+  (* Stop at the first stage with errors: downstream stages run on its
+     output and would only cascade. *)
+  let stage title report =
+    print_report ~verbose title report;
+    if Verify.Diagnostics.has_errors report then begin
+      print_endline "check: FAILED";
+      exit 1
+    end
+  in
+  stage "operator graph" (Verify.opgraph_check g);
+  let pg, _ = Fission.Engine.run g in
+  stage "fissioned graph" (Verify.graph_check pg);
+  (* The orchestrator's own invariant checking is off here so a broken
+     stage surfaces as a printed report rather than an exception. *)
+  let cfg =
+    { (config ~spec:gpu ~precision ~window) with Korch.Orchestrator.check_invariants = false }
+  in
+  (match Korch.Orchestrator.run_primgraph cfg pg with
+  | r ->
+    stage "stitched graph" (Verify.graph_check r.Korch.Orchestrator.graph);
+    stage "kernel plan"
+      (Verify.plan_check r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan)
+  | exception Korch.Orchestrator.Orchestration_failed msg ->
+    failed := true;
+    Printf.printf "orchestration failed: %s\n" msg);
+  if rules then stage "rewrite rules" (Verify.lint_rules ());
+  if !failed then begin
+    print_endline "check: FAILED";
+    exit 1
+  end
+  else print_endline "check: OK"
+
+let check_cmd =
+  let model =
+    Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"MODEL"
+           ~doc:"Model from the zoo to check (see `korch list').")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"ONNX-JSON operator graph to check instead of a zoo model.")
+  in
+  let rules =
+    Arg.(value & flag & info [ "rules" ]
+           ~doc:"Also lint every fission and transformation rewrite rule.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically verify a model end to end: operator graph, fissioned \
+             primitive graph, stitched graph and kernel plan")
+    Term.(
+      const check_action $ model $ file $ gpu_arg $ precision_arg $ batch_arg $ small_arg
+      $ window_arg $ rules $ verbose_arg)
+
 (* -------------------------- run ------------------------- *)
 
 let run_action file gpu precision window verbose =
@@ -221,4 +310,6 @@ let () =
     Cmd.info "korch" ~version:"1.0.0"
       ~doc:"Optimal kernel orchestration for tensor programs (Korch, ASPLOS 2024)"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; optimize_cmd; compare_cmd; export_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; optimize_cmd; compare_cmd; export_cmd; run_cmd; check_cmd ]))

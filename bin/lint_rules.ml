@@ -1,0 +1,26 @@
+(* Rewrite-rule lint runner, driven by the dune [@lint] alias (which is a
+   dependency of [@runtest]). Exercises every fission rule and every
+   transformation rule on seeded random pattern instances via
+   [Verify.Rule_check] and fails the build on any error finding. *)
+
+let () =
+  let seed = ref 0x5eed in
+  let count = ref 5 in
+  let quiet = ref false in
+  let spec =
+    [
+      ("-seed", Arg.Set_int seed, "SEED base random seed (default 0x5eed)");
+      ("-count", Arg.Set_int count, "N random instances per rule (default 5)");
+      ("-quiet", Arg.Set quiet, " print errors only");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "lint_rules [options]";
+  let report = Verify.Rule_check.lint_all ~seed:!seed ~count:!count () in
+  let shown = if !quiet then Verify.Diagnostics.errors report else report in
+  List.iter (fun d -> Format.printf "%a@." Verify.Diagnostics.pp_diag d) shown;
+  let e, w, i = Verify.Diagnostics.count_severity report in
+  Format.printf "lint: %d rules checked, %d error(s), %d warning(s), %d info@."
+    (List.length Verify.Rule_check.fission_rule_names
+    + List.length Verify.Rule_check.transform_rule_names)
+    e w i;
+  if e > 0 then exit 1

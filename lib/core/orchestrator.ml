@@ -28,6 +28,12 @@ type config = {
   allow_redundancy : bool;
       (** §4.2's relaxation: primitives may execute in several kernels.
           Disable for the ablation (prior-work-style disjoint partitions) *)
+  check_invariants : bool;
+      (** run the {!Verify} static analyses at every pipeline boundary:
+          the fissioned graph, each transformed segment, and the stitched
+          graph + plan. A violation raises {!Orchestration_failed} with
+          the full diagnostic report instead of corrupting downstream
+          stages silently *)
 }
 
 let default_config =
@@ -42,6 +48,7 @@ let default_config =
     ilp_rel_gap = 0.002;
     ilp_abs_gap_launches = 0.4;
     allow_redundancy = true;
+    check_invariants = true;
   }
 
 type segment_result = {
@@ -66,6 +73,15 @@ type result = {
 
 exception Orchestration_failed of string
 
+(* Raise [Orchestration_failed] with the full diagnostic summary if a
+   verification report contains errors. *)
+let enforce ~what (report : Verify.Diagnostics.report) =
+  if Verify.Diagnostics.has_errors report then
+    raise
+      (Orchestration_failed
+         (Printf.sprintf "%s failed verification: %s" what
+            (Verify.Diagnostics.error_summary report)))
+
 (* Solve one segment: BLP + schedule with no-good cut loop. *)
 let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) (seg : Partition.segment) :
     segment_result =
@@ -83,6 +99,8 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) (seg : Partition
         seg.Partition.local
     else Transform.Cse.run seg.Partition.local
   in
+  if cfg.check_invariants then
+    enforce ~what:"transformed segment" (Verify.graph_check transformed);
   let candidates, id_stats =
     Kernel_identifier.identify cfg.identifier ~spec:cfg.spec ~precision:cfg.precision ~cache
       transformed
@@ -211,6 +229,10 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
   let results = List.map (solve_segment cfg ~cache) segments in
   let graph, kernels = stitch g results in
   let plan = Runtime.Plan.make kernels in
+  if cfg.check_invariants then begin
+    enforce ~what:"stitched graph" (Verify.graph_check graph);
+    enforce ~what:"stitched plan" (Verify.plan_check graph plan)
+  end;
   {
     graph;
     plan;
@@ -229,4 +251,5 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
     operator fission, then {!run_primgraph}. *)
 let run (cfg : config) (g : Opgraph.t) : result =
   let pg, _mapping = Fission.Engine.run g in
+  if cfg.check_invariants then enforce ~what:"fissioned graph" (Verify.graph_check pg);
   run_primgraph cfg pg

@@ -27,6 +27,11 @@ type config = {
   allow_redundancy : bool;
       (** §4.2's relaxation: primitives may execute in several kernels.
           Disable for the ablation (prior-work-style disjoint partitions) *)
+  check_invariants : bool;
+      (** run the {!Verify} static analyses at every pipeline boundary
+          (fissioned graph, each transformed segment, stitched graph and
+          plan); violations raise {!Orchestration_failed} with the full
+          diagnostic report. On by default *)
 }
 
 val default_config : config

@@ -32,6 +32,7 @@ let pool_out (s : Shape.t) ~kernel ~stride ~padding : Shape.t =
   let kh, kw = kernel and sh, sw = stride and ph, pw = padding in
   let oh = ((s.(2) + (2 * ph) - kh) / sh) + 1 in
   let ow = ((s.(3) + (2 * pw) - kw) / sw) + 1 in
+  if oh <= 0 || ow <= 0 then fail "shape_infer: pool produces empty output";
   [| s.(0); s.(1); oh; ow |]
 
 let matmul_out (a : Shape.t) (b : Shape.t) : Shape.t =

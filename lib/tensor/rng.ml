@@ -29,7 +29,9 @@ let uniform (t : t) ~lo ~hi = lo +. ((hi -. lo) *. float t)
 (** [int t bound] is uniform in [[0, bound)]. [bound] must be positive. *)
 let int (t : t) (bound : int) : int =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) in
+  (* [Int64.to_int] wraps 64 pseudo-random bits into OCaml's 63-bit native
+     int, so the result must be masked non-negative before reduction. *)
+  let v = Int64.to_int (next_int64 t) land max_int in
   v mod bound
 
 (** [normal t] is a standard normal sample (Box-Muller). *)

@@ -1,0 +1,541 @@
+(** Differential-testing linter for rewrite rules.
+
+    Korch's correctness rests on two rewrite layers: operator fission
+    (§3) and the TASO-style primitive-graph transformations (§2). Both are
+    trusted, hand-written code. This linter machine-checks them: for every
+    fission rule and every transformation rule it generates seeded random
+    concrete graphs matching the rule's pattern, applies the rewrite,
+    re-runs the {!Graph_check} structural verifier on the result, and
+    asserts numerical equivalence of the reference-interpreter outputs
+    within tolerance (the same oracle discipline Axon and TASO use for
+    their synthesized/verified substitutions).
+
+    All randomness flows from an explicit seed, so a lint failure is
+    reproducible by rerunning with the same seed. *)
+
+open Ir
+open Tensor
+
+let pass = "rules"
+
+(* How a random input tensor must be conditioned so the mathematical
+   identity is numerically meaningful (no NaNs from log of a negative
+   number, no catastrophic division by ~0). *)
+type input_kind = Any | Positive
+
+let value rng kind (s : Shape.t) : Nd.t =
+  let v = Nd.randn rng s in
+  match kind with
+  | Any -> v
+  | Positive -> Ops_elementwise.add_scalar 0.5 (Ops_elementwise.abs v)
+
+let dim rng = 2 + Rng.int rng 3 (* 2..4 *)
+
+let random_perm rng n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let rtol = 1e-5
+let atol = 1e-6
+
+(* Rewrap a sub-report produced by the graph verifier as rule-located
+   findings (keeping the inner location in the message). *)
+let relocate rule_name (sub : Diagnostics.report) : Diagnostics.report =
+  List.map
+    (fun (d : Diagnostics.diag) ->
+      Diagnostics.error ~pass ~loc:(Diagnostics.Rule rule_name) "rewritten graph invalid: %s: %s"
+        (Diagnostics.location_to_string d.Diagnostics.loc)
+        d.Diagnostics.message)
+    (Diagnostics.errors sub)
+
+(* ------------------------------------------------------------------ *)
+(* Fission rules                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type fission_case = {
+  f_name : string;
+  f_gen : Rng.t -> Optype.t * (Shape.t * input_kind) list;
+  f_exec : bool;  (** false for opaque lowerings the interpreter cannot run *)
+}
+
+let fcase ?(exec = true) f_name f_gen = { f_name; f_gen; f_exec = exec }
+
+let unary_case name op ?(kind = Any) () =
+  fcase name (fun rng -> (op, [ ([| dim rng; dim rng; dim rng |], kind) ]))
+
+let binary_case name op ?(rhs = Any) () =
+  fcase name (fun rng ->
+      let s = [| dim rng; dim rng |] in
+      (op, [ (s, Any); (s, rhs) ]))
+
+(** One case per fission rule dispatched by {!Fission.Engine.rule_for}:
+    every alternative of [Rules_basic], [Rules_norm] and [Rules_softmax]
+    appears exactly once (parameterized variants are drawn randomly). *)
+let fission_cases : fission_case list =
+  [
+    unary_case "fission/relu" Optype.Relu ();
+    fcase "fission/leaky_relu" (fun rng ->
+        (Optype.LeakyRelu (Rng.uniform rng ~lo:0.05 ~hi:0.3), [ ([| dim rng; dim rng |], Any) ]));
+    unary_case "fission/sigmoid" Optype.Sigmoid ();
+    unary_case "fission/silu" Optype.Silu ();
+    unary_case "fission/mish" Optype.Mish ();
+    unary_case "fission/tanh" Optype.Tanh ();
+    unary_case "fission/gelu" Optype.Gelu ();
+    unary_case "fission/erf" Optype.Erf ();
+    unary_case "fission/exp" Optype.Exp ();
+    unary_case "fission/log" Optype.Log ~kind:Positive ();
+    unary_case "fission/sqrt" Optype.Sqrt ~kind:Positive ();
+    unary_case "fission/neg" Optype.Neg ();
+    unary_case "fission/square" Optype.Square ();
+    binary_case "fission/add" Optype.Add ();
+    binary_case "fission/sub" Optype.Sub ();
+    binary_case "fission/mul" Optype.Mul ();
+    binary_case "fission/div" Optype.Div ~rhs:Positive ();
+    fcase "fission/pow" (fun rng ->
+        let s = [| dim rng; dim rng |] in
+        (Optype.Pow, [ (s, Positive); (s, Any) ]));
+    fcase "fission/softmax" (fun rng ->
+        let s = [| dim rng; dim rng; dim rng |] in
+        (Optype.Softmax (Rng.int rng 3), [ (s, Any) ]));
+    fcase "fission/instance_norm" (fun rng ->
+        (Optype.InstanceNorm 1e-5, [ ([| 2; dim rng; 4; 5 |], Any) ]));
+    fcase "fission/layer_norm" (fun rng ->
+        (Optype.LayerNorm 1e-5, [ ([| dim rng; 2 + Rng.int rng 5 |], Any) ]));
+    fcase "fission/layer_norm_scale" (fun rng ->
+        let d = 2 + Rng.int rng 5 in
+        (Optype.LayerNorm 1e-5, [ ([| dim rng; d |], Any); ([| d |], Any) ]));
+    fcase "fission/layer_norm_affine" (fun rng ->
+        let d = 2 + Rng.int rng 5 in
+        (Optype.LayerNorm 1e-5, [ ([| dim rng; dim rng; d |], Any); ([| d |], Any); ([| d |], Any) ]));
+    fcase "fission/batch_norm" (fun rng ->
+        let c = dim rng in
+        ( Optype.BatchNormInference 1e-5,
+          [ ([| 2; c; 4; 4 |], Any); ([| c |], Any); ([| c |], Any); ([| c |], Any);
+            ([| c |], Positive) ] ));
+    fcase "fission/reduce_sum" (fun rng ->
+        ( Optype.ReduceSum { axis = Rng.int rng 3; keepdims = Rng.int rng 2 = 0 },
+          [ ([| dim rng; dim rng; dim rng |], Any) ] ));
+    fcase "fission/reduce_mean" (fun rng ->
+        ( Optype.ReduceMean { axis = Rng.int rng 3; keepdims = Rng.int rng 2 = 0 },
+          [ ([| dim rng; dim rng; dim rng |], Any) ] ));
+    fcase "fission/reduce_max" (fun rng ->
+        ( Optype.ReduceMax { axis = Rng.int rng 3; keepdims = Rng.int rng 2 = 0 },
+          [ ([| dim rng; dim rng; dim rng |], Any) ] ));
+    fcase "fission/max_pool" (fun rng ->
+        let k = 1 + Rng.int rng 3 and s = 1 + Rng.int rng 2 in
+        (* padding < kernel, or a window can land entirely in padding *)
+        let p = Rng.int rng (min 2 k) in
+        ( Optype.MaxPool { kernel = (k, k); stride = (s, s); padding = (p, p) },
+          [ ([| 1; dim rng; 6; 6 |], Any) ] ));
+    fcase "fission/avg_pool" (fun rng ->
+        let k = 1 + Rng.int rng 3 and s = 1 + Rng.int rng 2 in
+        ( Optype.AvgPool { kernel = (k, k); stride = (s, s); padding = (0, 0) },
+          [ ([| 1; dim rng; 6; 6 |], Any) ] ));
+    fcase "fission/global_avg_pool" (fun rng ->
+        (Optype.GlobalAvgPool, [ ([| 2; dim rng; 5; 5 |], Any) ]));
+    fcase "fission/transpose" (fun rng ->
+        (Optype.Transpose (random_perm rng 3), [ ([| dim rng; dim rng; dim rng |], Any) ]));
+    fcase "fission/reshape" (fun rng ->
+        let a = dim rng and b = dim rng and c = dim rng in
+        (Optype.Reshape [| a * b; c |], [ ([| a; b; c |], Any) ]));
+    fcase "fission/pad" (fun rng ->
+        let pre = Array.init 2 (fun _ -> Rng.int rng 2) in
+        let post = Array.init 2 (fun _ -> Rng.int rng 2) in
+        ( Optype.Pad { before = pre; after = post; value = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 },
+          [ ([| dim rng; dim rng |], Any) ] ));
+    fcase "fission/slice" (fun rng ->
+        let a = 3 + Rng.int rng 2 and b = 3 + Rng.int rng 2 in
+        let s0 = Rng.int rng 2 and s1 = Rng.int rng 2 in
+        ( Optype.Slice { starts = [| s0; s1 |]; stops = [| a - Rng.int rng 2; b |] },
+          [ ([| a; b |], Any) ] ));
+    fcase "fission/concat" (fun rng ->
+        let m = dim rng in
+        ( Optype.Concat 1,
+          [ ([| m; dim rng |], Any); ([| m; dim rng |], Any); ([| m; dim rng |], Any) ] ));
+    fcase "fission/matmul" (fun rng ->
+        let m = dim rng and k = dim rng and n = dim rng in
+        (Optype.MatMul, [ ([| m; k |], Any); ([| k; n |], Any) ]));
+    fcase "fission/matmul_batched" (fun rng ->
+        let b = dim rng and m = dim rng and k = dim rng and n = dim rng in
+        (Optype.MatMul, [ ([| b; m; k |], Any); ([| b; k; n |], Any) ]));
+    fcase "fission/conv" (fun rng ->
+        let c = dim rng and oc = dim rng and k = 1 + Rng.int rng 3 in
+        ( Optype.Conv { stride = (1, 1); padding = (Rng.int rng 2, Rng.int rng 2); bias = false },
+          [ ([| 1; c; 6; 6 |], Any); ([| oc; c; k; k |], Any) ] ));
+    fcase "fission/conv_bias" (fun rng ->
+        let c = dim rng and oc = dim rng and k = 1 + Rng.int rng 2 in
+        ( Optype.Conv { stride = (1, 1); padding = (0, 0); bias = true },
+          [ ([| 1; c; 5; 5 |], Any); ([| oc; c; k; k |], Any); ([| oc |], Any) ] ));
+    fcase "fission/upsample" (fun rng ->
+        (Optype.Upsample 2, [ ([| 1; dim rng; 3; 3 |], Any) ]));
+    fcase ~exec:false "fission/topk_opaque" (fun rng ->
+        (Optype.TopK 2, [ ([| dim rng; 4 + Rng.int rng 4 |], Any) ]));
+  ]
+
+let fission_rule_names = List.map (fun c -> c.f_name) fission_cases
+
+let single_op_graph op (inputs : (Shape.t * input_kind) list) : Opgraph.t =
+  let b = Opgraph.B.create () in
+  let ids =
+    List.mapi (fun i (s, _) -> Opgraph.B.input b (Printf.sprintf "x%d" i) s) inputs
+  in
+  let out = Opgraph.B.add b op ids in
+  Opgraph.B.set_outputs b [ out ];
+  Opgraph.B.finish b
+
+let check_fission_instance (case : fission_case) rng : Diagnostics.report =
+  let loc = Diagnostics.Rule case.f_name in
+  match
+    let op, input_specs = case.f_gen rng in
+    let g = single_op_graph op input_specs in
+    let values =
+      List.mapi (fun i (s, k) -> (Printf.sprintf "x%d" i, value rng k s)) input_specs
+    in
+    let pg, _mapping = Fission.Engine.run g in
+    let structural = relocate case.f_name (Graph_check.check_prim pg) in
+    if structural <> [] || not case.f_exec then structural
+    else begin
+      let expected = Runtime.Interp.run g ~inputs:values in
+      let got = Runtime.Prim_interp.run pg ~inputs:values in
+      List.concat
+        (List.map2
+           (fun e a ->
+             if Nd.allclose ~rtol ~atol e a then []
+             else
+               [ Diagnostics.error ~pass ~loc
+                   "fission of %s changed semantics (max |diff| %g)" (Optype.to_string op)
+                   (Nd.max_abs_diff e a) ])
+           expected got)
+    end
+  with
+  | diags -> diags
+  | exception e ->
+    [ Diagnostics.error ~pass ~loc "instance raised %s" (Printexc.to_string e) ]
+
+(* ------------------------------------------------------------------ *)
+(* Transformation rules                                                *)
+(* ------------------------------------------------------------------ *)
+
+type transform_case = {
+  t_name : string;
+  t_rule : Primgraph.t -> Primgraph.t list;
+  t_gen : Rng.t -> Primgraph.t;  (** graph guaranteed to contain the pattern *)
+}
+
+(* Builder shorthand. *)
+let inp b name s = Primgraph.B.input b name s
+let add = Primgraph.B.add
+
+(** One case per transformation pattern exported by the [lib/transform]
+    rule modules — each sub-rule of the composite [apply] entry points is
+    exercised through a generator that plants its exact pattern. *)
+let transform_cases : transform_case list =
+  [
+    {
+      t_name = "transform/reduce_to_matmul";
+      t_rule = Transform.Rules_reduce_matmul.apply;
+      t_gen =
+        (fun rng ->
+          let b = Primgraph.B.create () in
+          let x = inp b "x" [| dim rng; dim rng |] in
+          let r = add b (Primitive.Reduce (Primitive.Sum, 1)) [ x ] in
+          Primgraph.B.set_outputs b [ r ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/swap_div_matmul";
+      t_rule = Transform.Rules_swap.apply;
+      t_gen =
+        (fun rng ->
+          let m = dim rng and n = dim rng and k = dim rng in
+          let b = Primgraph.B.create () in
+          let x = inp b "x" [| m; n |] in
+          let c = inp b "c" [| m |] in
+          let y = inp b "y" [| n; k |] in
+          let bc = add b (Primitive.Broadcast (1, n)) [ c ] in
+          let d = add b (Primitive.Binary Primitive.Div) [ x; bc ] in
+          let mm = add b Primitive.Matmul [ d; y ] in
+          Primgraph.B.set_outputs b [ mm ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/merge_matmul_shared_lhs";
+      t_rule = Transform.Rules_merge_matmul.apply;
+      t_gen =
+        (fun rng ->
+          let m = dim rng and n = dim rng in
+          let b = Primgraph.B.create () in
+          let a = inp b "a" [| m; n |] in
+          let b1 = inp b "b1" [| n; dim rng |] in
+          let b2 = inp b "b2" [| n; dim rng |] in
+          let mm1 = add b Primitive.Matmul [ a; b1 ] in
+          let mm2 = add b Primitive.Matmul [ a; b2 ] in
+          Primgraph.B.set_outputs b [ mm1; mm2 ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/merge_matmul_shared_rhs";
+      t_rule = Transform.Rules_merge_matmul.apply;
+      t_gen =
+        (fun rng ->
+          let n = dim rng and k = dim rng in
+          let b = Primgraph.B.create () in
+          let a1 = inp b "a1" [| dim rng; n |] in
+          let a2 = inp b "a2" [| dim rng; n |] in
+          let b0 = inp b "b" [| n; k |] in
+          let mm1 = add b Primitive.Matmul [ a1; b0 ] in
+          let mm2 = add b Primitive.Matmul [ a2; b0 ] in
+          Primgraph.B.set_outputs b [ mm1; mm2 ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/transpose_cancel_pairs";
+      t_rule = Transform.Rules_transpose.cancel_pairs;
+      t_gen =
+        (fun rng ->
+          let b = Primgraph.B.create () in
+          let x = inp b "x" [| dim rng; dim rng; dim rng |] in
+          let t1 = add b (Primitive.Transpose (random_perm rng 3)) [ x ] in
+          let t2 = add b (Primitive.Transpose (random_perm rng 3)) [ t1 ] in
+          let u = add b (Primitive.Unary Primitive.Relu) [ t2 ] in
+          Primgraph.B.set_outputs b [ u ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/transpose_of_matmul";
+      t_rule = Transform.Rules_transpose.transpose_of_matmul;
+      t_gen =
+        (fun rng ->
+          let m = dim rng and k = dim rng and n = dim rng in
+          let b = Primgraph.B.create () in
+          let a = inp b "a" [| m; k |] in
+          let c = inp b "c" [| k; n |] in
+          let mm = add b Primitive.Matmul [ a; c ] in
+          let t = add b (Primitive.Transpose [| 1; 0 |]) [ mm ] in
+          Primgraph.B.set_outputs b [ t ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/transpose_push_through_unary";
+      t_rule = Transform.Rules_transpose.push_through_unary;
+      t_gen =
+        (fun rng ->
+          let b = Primgraph.B.create () in
+          let x = inp b "x" [| dim rng; dim rng |] in
+          let t = add b (Primitive.Transpose [| 1; 0 |]) [ x ] in
+          let u = add b (Primitive.Unary Primitive.Sigmoid) [ t ] in
+          Primgraph.B.set_outputs b [ u ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/broadcast_unary_through";
+      t_rule = Transform.Rules_broadcast.unary_through;
+      t_gen =
+        (fun rng ->
+          let b = Primgraph.B.create () in
+          let x = inp b "x" [| dim rng; dim rng |] in
+          let bc = add b (Primitive.Broadcast (Rng.int rng 3, dim rng)) [ x ] in
+          let u = add b (Primitive.Unary Primitive.Tanh) [ bc ] in
+          Primgraph.B.set_outputs b [ u ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/broadcast_binary_through";
+      t_rule = Transform.Rules_broadcast.binary_through;
+      t_gen =
+        (fun rng ->
+          let s = [| dim rng; dim rng |] in
+          let ax = Rng.int rng 3 and d = dim rng in
+          let b = Primgraph.B.create () in
+          let x = inp b "x" s in
+          let y = inp b "y" s in
+          let bx = add b (Primitive.Broadcast (ax, d)) [ x ] in
+          let by = add b (Primitive.Broadcast (ax, d)) [ y ] in
+          let z = add b (Primitive.Binary Primitive.Add) [ bx; by ] in
+          Primgraph.B.set_outputs b [ z ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/broadcast_reduce_cancel";
+      t_rule = Transform.Rules_broadcast.reduce_of_broadcast;
+      t_gen =
+        (fun rng ->
+          let ax = Rng.int rng 3 in
+          let agg =
+            match Rng.int rng 3 with
+            | 0 -> Primitive.Sum
+            | 1 -> Primitive.Mean
+            | _ -> Primitive.Max
+          in
+          let b = Primgraph.B.create () in
+          let x = inp b "x" [| dim rng; dim rng |] in
+          let bc = add b (Primitive.Broadcast (ax, dim rng)) [ x ] in
+          let r = add b (Primitive.Reduce (agg, ax)) [ bc ] in
+          Primgraph.B.set_outputs b [ r ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/layout_reshape_fuse";
+      t_rule = Transform.Rules_layout_cancel.reshape_fuse;
+      t_gen =
+        (fun rng ->
+          let a = dim rng and c = dim rng in
+          let b = Primgraph.B.create () in
+          let x = inp b "x" [| a; c |] in
+          let r1 = add b (Primitive.Reshape [| a * c |]) [ x ] in
+          let r2 = add b (Primitive.Reshape [| c; a |]) [ r1 ] in
+          Primgraph.B.set_outputs b [ r2 ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/layout_slice_of_pad";
+      t_rule = Transform.Rules_layout_cancel.slice_of_pad;
+      t_gen =
+        (fun rng ->
+          let m = dim rng and n = dim rng in
+          let before = [| Rng.int rng 2; Rng.int rng 2 |] in
+          let after = [| Rng.int rng 2; Rng.int rng 2 |] in
+          let b = Primgraph.B.create () in
+          let x = inp b "x" [| m; n |] in
+          let p = add b (Primitive.Pad { before; after; value = 0.0 }) [ x ] in
+          let sl =
+            add b
+              (Primitive.Slice
+                 { starts = before; stops = [| before.(0) + m; before.(1) + n |] })
+              [ p ]
+          in
+          Primgraph.B.set_outputs b [ sl ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/layout_slice_of_concat";
+      t_rule = Transform.Rules_layout_cancel.slice_of_concat;
+      t_gen =
+        (fun rng ->
+          let m = dim rng and n1 = dim rng and n2 = dim rng in
+          let b = Primgraph.B.create () in
+          let x1 = inp b "x1" [| m; n1 |] in
+          let x2 = inp b "x2" [| m; n2 |] in
+          let c = add b (Primitive.Concat 1) [ x1; x2 ] in
+          let sl =
+            add b (Primitive.Slice { starts = [| 0; 0 |]; stops = [| m; n1 |] }) [ c ]
+          in
+          Primgraph.B.set_outputs b [ sl ];
+          Primgraph.B.finish b);
+    };
+    {
+      t_name = "transform/layout_concat_of_slices";
+      t_rule = Transform.Rules_layout_cancel.concat_of_slices;
+      t_gen =
+        (fun rng ->
+          let m = 2 + Rng.int rng 3 and n = dim rng in
+          let cut = 1 + Rng.int rng (m - 1) in
+          let b = Primgraph.B.create () in
+          let x = inp b "x" [| m; n |] in
+          let s1 = add b (Primitive.Slice { starts = [| 0; 0 |]; stops = [| cut; n |] }) [ x ] in
+          let s2 = add b (Primitive.Slice { starts = [| cut; 0 |]; stops = [| m; n |] }) [ x ] in
+          let c = add b (Primitive.Concat 0) [ s1; s2 ] in
+          Primgraph.B.set_outputs b [ c ];
+          Primgraph.B.finish b);
+    };
+  ]
+
+let transform_rule_names = List.map (fun c -> c.t_name) transform_cases
+
+let graph_inputs rng (g : Primgraph.t) : (string * Nd.t) list =
+  Array.to_list g.Graph.nodes
+  |> List.filter_map (fun nd ->
+         match nd.Graph.op with
+         | Primitive.Input name -> Some (name, value rng Positive nd.Graph.shape)
+         | _ -> None)
+
+let check_transform_instance (case : transform_case) rng : int * Diagnostics.report =
+  let loc = Diagnostics.Rule case.t_name in
+  match
+    let g = case.t_gen rng in
+    let inputs = graph_inputs rng g in
+    let expected = Runtime.Prim_interp.run g ~inputs in
+    match case.t_rule g with
+    | [] ->
+      (0, [ Diagnostics.error ~pass ~loc "rule did not fire on a generated pattern instance" ])
+    | rewrites ->
+      ( List.length rewrites,
+        List.concat_map
+          (fun g' ->
+            let structural = relocate case.t_name (Graph_check.check_prim g') in
+            if structural <> [] then structural
+            else begin
+              let got = Runtime.Prim_interp.run g' ~inputs in
+              if List.length got <> List.length expected then
+                [ Diagnostics.error ~pass ~loc "rewrite changed output arity (%d -> %d)"
+                    (List.length expected) (List.length got) ]
+              else
+                List.concat
+                  (List.map2
+                     (fun e a ->
+                       if Nd.allclose ~rtol ~atol e a then []
+                       else
+                         [ Diagnostics.error ~pass ~loc
+                             "rewrite changed semantics (max |diff| %g)" (Nd.max_abs_diff e a) ])
+                     expected got)
+            end)
+          rewrites )
+  with
+  | result -> result
+  | exception e ->
+    (0, [ Diagnostics.error ~pass ~loc "instance raised %s" (Printexc.to_string e) ])
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let case_rng ~seed name = Rng.create (seed + Hashtbl.hash name)
+
+(** [lint_fission ?seed ?count ()] — differential-test every fission rule
+    on [count] seeded random instances each. *)
+let lint_fission ?(seed = 0x5eed) ?(count = 5) () : Diagnostics.report =
+  List.concat_map
+    (fun case ->
+      let rng = case_rng ~seed case.f_name in
+      let diags = ref [] in
+      for _ = 1 to count do
+        diags := !diags @ check_fission_instance case rng
+      done;
+      if Diagnostics.has_errors !diags then !diags
+      else
+        !diags
+        @ [ Diagnostics.info ~pass ~loc:(Diagnostics.Rule case.f_name)
+              "%d random instance(s) verified%s" count
+              (if case.f_exec then "" else " (structural only: opaque lowering)") ])
+    fission_cases
+
+(** [lint_transform ?seed ?count ()] — differential-test every
+    transformation rule on [count] seeded random pattern instances each. *)
+let lint_transform ?(seed = 0x5eed) ?(count = 5) () : Diagnostics.report =
+  List.concat_map
+    (fun case ->
+      let rng = case_rng ~seed case.t_name in
+      let diags = ref [] in
+      let rewrites = ref 0 in
+      for _ = 1 to count do
+        let n, ds = check_transform_instance case rng in
+        rewrites := !rewrites + n;
+        diags := !diags @ ds
+      done;
+      if Diagnostics.has_errors !diags then !diags
+      else
+        !diags
+        @ [ Diagnostics.info ~pass ~loc:(Diagnostics.Rule case.t_name)
+              "%d random instance(s) verified (%d rewrites checked)" count !rewrites ])
+    transform_cases
+
+(** [lint_all ?seed ?count ()] — the full rule lint: fission then
+    transformations. *)
+let lint_all ?(seed = 0x5eed) ?(count = 5) () : Diagnostics.report =
+  lint_fission ~seed ~count () @ lint_transform ~seed ~count ()

@@ -184,7 +184,15 @@ let test_shape_infer_errors () =
   fails Primitive.Matmul [ [| 2; 3 |]; [| 4; 5 |] ];
   fails (Primitive.Reduce (Primitive.Sum, 5)) [ [| 2; 3 |] ];
   fails (Primitive.Reshape [| 7 |]) [ [| 2; 3 |] ];
-  fails (Primitive.Concat 0) []
+  fails (Primitive.Concat 0) [];
+  (* A pool whose kernel exceeds the padded input must be rejected, like
+     the equivalent conv is — not yield a zero-sized spatial dim. *)
+  fails
+    (Primitive.Pool { agg = Primitive.Max; kernel = (5, 5); stride = (1, 1); padding = (0, 0) })
+    [ [| 1; 2; 4; 4 |] ];
+  fails
+    (Primitive.Conv { stride = (1, 1); padding = (0, 0) })
+    [ [| 1; 3; 4; 4 |]; [| 8; 3; 5; 5 |] ]
 
 let test_op_shape_infer () =
   Alcotest.(check (array int)) "softmax keeps shape" [| 2; 5 |]
