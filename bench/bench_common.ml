@@ -13,15 +13,26 @@ let row fmt = Printf.printf fmt
 let v100_fp32 = (Gpu.Spec.v100, Gpu.Precision.FP32)
 let a100_tf32 = (Gpu.Spec.a100, Gpu.Precision.TF32)
 
-let korch_config ?(partition_max_prims = 12) (spec, precision) =
+(* Worker domains per orchestrator run, settable with `-j N` on the bench
+   command line. Plans are identical for every value (the experiments'
+   numbers do not depend on it); only wall-clock optimization time does. *)
+let jobs = ref (Parallel.Domain_pool.default_jobs ())
+
+let korch_config ?(partition_max_prims = 12) ?jobs:j (spec, precision) =
   { Korch.Orchestrator.default_config with
-    Korch.Orchestrator.spec; precision; partition_max_prims }
+    Korch.Orchestrator.spec; precision; partition_max_prims;
+    jobs = (match j with Some j -> j | None -> !jobs) }
 
 (* Run Korch on an operator graph (BN folded first, as every deployment
    stack does). *)
-let run_korch ?partition_max_prims platform (g : Ir.Opgraph.t) : Korch.Orchestrator.result =
+let run_korch ?partition_max_prims ?jobs platform (g : Ir.Opgraph.t) :
+    Korch.Orchestrator.result =
   let g = Fission.Canonicalize.fold_batch_norms g in
-  Korch.Orchestrator.run (korch_config ?partition_max_prims platform) g
+  Korch.Orchestrator.run (korch_config ?partition_max_prims ?jobs platform) g
+
+(* Monotonic wall-clock seconds ([Sys.time] is CPU time, which counts all
+   domains and so overstates parallel runs). *)
+let wall_clock () = Unix.gettimeofday ()
 
 type baseline_row = {
   eager_us : float;

@@ -15,6 +15,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("tab2", "tuning statistics (Table 2)", Exp_tab2.run);
     ("ablation", "design-choice ablations", Exp_ablation.run);
     ("multistream", "multi-stream headroom (extension)", Exp_multistream.run);
+    ("parallel", "multicore segment orchestration speedup", Exp_parallel.run);
     ("micro", "bechamel microbenchmarks", Microbench.run) ]
 
 let () =
@@ -27,8 +28,13 @@ let () =
     | "--list" :: _ ->
       List.iter (fun (id, d, _) -> Printf.printf "%-10s %s\n" id d) experiments;
       exit 0
+    | ("-j" | "--jobs") :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> Bench_common.jobs := n
+      | _ -> Printf.eprintf "-j expects a positive integer, got %s\n" v);
+      parse rest
     | x :: rest ->
-      Printf.eprintf "unknown argument %s (try --list / --only ids)\n" x;
+      Printf.eprintf "unknown argument %s (try --list / --only ids / -j N)\n" x;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));

@@ -50,6 +50,16 @@ let window_arg =
   let doc = "Partition window size in primitives." in
   Arg.(value & opt int 12 & info [ "window" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains solving partition segments in parallel (1 = sequential; \
+     the resulting plan is identical for any value)."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.Domain_pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let verbose_arg =
   let doc = "Print the full kernel plan." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
@@ -69,9 +79,9 @@ let build_graph entry ~small ~batch =
   in
   Fission.Canonicalize.fold_batch_norms g
 
-let config ~spec ~precision ~window =
+let config ~spec ~precision ~window ~jobs =
   { Korch.Orchestrator.default_config with
-    Korch.Orchestrator.spec; precision; partition_max_prims = window }
+    Korch.Orchestrator.spec; precision; partition_max_prims = window; jobs }
 
 (* ------------------------- list ------------------------- *)
 
@@ -96,11 +106,11 @@ let list_cmd =
 
 (* ----------------------- optimize ----------------------- *)
 
-let optimize_action model gpu precision batch small window verbose dot streams =
+let optimize_action model gpu precision batch small window jobs verbose dot streams =
   let entry = find_model model in
   let g = build_graph entry ~small ~batch in
   let t0 = Sys.time () in
-  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window) g in
+  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window ~jobs) g in
   Printf.printf "%s on %s/%s (batch %d)\n" model gpu.Gpu.Spec.name
     (Gpu.Precision.to_string precision) batch;
   print_string (Korch.Report.summary r);
@@ -127,7 +137,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Discover the optimal kernel orchestration for a model")
     Term.(
       const optimize_action $ model_arg $ gpu_arg $ precision_arg $ batch_arg $ small_arg
-      $ window_arg $ verbose_arg
+      $ window_arg $ jobs_arg $ verbose_arg
       $ Arg.(value & opt (some string) None
              & info [ "dot" ] ~docv:"FILE" ~doc:"Write the plan as a Graphviz DOT file.")
       $ Arg.(value & opt int 1
@@ -136,7 +146,7 @@ let optimize_cmd =
 
 (* ----------------------- compare ----------------------- *)
 
-let compare_action model gpu precision batch small window =
+let compare_action model gpu precision batch small window jobs =
   let entry = find_model model in
   let g = build_graph entry ~small ~batch in
   let env = Baselines.Common.make_env ~spec:gpu ~precision g in
@@ -148,7 +158,7 @@ let compare_action model gpu precision batch small window =
         (Runtime.Plan.kernel_count plan))
     [ ("eager", Baselines.Eager.run); ("greedy-tvm", Baselines.Greedy_tvm.run);
       ("tensorrt", Baselines.Trt.run); ("dp-chain", Baselines.Dp_chain.run) ];
-  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window) g in
+  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window ~jobs) g in
   Printf.printf "%-12s %12.1f %9d   (%d redundant primitive executions)\n" "korch"
     r.Korch.Orchestrator.plan.Runtime.Plan.total_latency_us
     (Runtime.Plan.kernel_count r.Korch.Orchestrator.plan)
@@ -159,7 +169,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Compare Korch against the fusion baselines")
     Term.(
       const compare_action $ model_arg $ gpu_arg $ precision_arg $ batch_arg $ small_arg
-      $ window_arg)
+      $ window_arg $ jobs_arg)
 
 (* ------------------------ export ------------------------ *)
 
@@ -195,7 +205,7 @@ let print_report ~verbose title report =
   Printf.printf "%-22s %d error(s), %d warning(s), %d info\n" title e w i;
   List.iter (fun d -> Format.printf "  %a@." Verify.Diagnostics.pp_diag d) shown
 
-let check_action model file gpu precision batch small window rules verbose =
+let check_action model file gpu precision batch small window jobs rules verbose =
   let g =
     match (model, file) with
     | Some m, None -> build_graph (find_model m) ~small ~batch
@@ -231,7 +241,8 @@ let check_action model file gpu precision batch small window rules verbose =
   (* The orchestrator's own invariant checking is off here so a broken
      stage surfaces as a printed report rather than an exception. *)
   let cfg =
-    { (config ~spec:gpu ~precision ~window) with Korch.Orchestrator.check_invariants = false }
+    { (config ~spec:gpu ~precision ~window ~jobs) with
+      Korch.Orchestrator.check_invariants = false }
   in
   (match Korch.Orchestrator.run_primgraph cfg pg with
   | r ->
@@ -267,17 +278,17 @@ let check_cmd =
              primitive graph, stitched graph and kernel plan")
     Term.(
       const check_action $ model $ file $ gpu_arg $ precision_arg $ batch_arg $ small_arg
-      $ window_arg $ rules $ verbose_arg)
+      $ window_arg $ jobs_arg $ rules $ verbose_arg)
 
 (* -------------------------- run ------------------------- *)
 
-let run_action file gpu precision window verbose =
+let run_action file gpu precision window jobs verbose =
   let ic = open_in file in
   let len = in_channel_length ic in
   let doc = really_input_string ic len in
   close_in ic;
   let g = Onnx.Deserialize.opgraph_of_string doc in
-  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window) g in
+  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window ~jobs) g in
   print_string (Korch.Report.summary r);
   if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan;
   (* Execute the plan on random inputs as a functional check. *)
@@ -303,7 +314,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize and execute an ONNX-JSON graph")
-    Term.(const run_action $ file $ gpu_arg $ precision_arg $ window_arg $ verbose_arg)
+    Term.(
+      const run_action $ file $ gpu_arg $ precision_arg $ window_arg $ jobs_arg $ verbose_arg)
 
 let () =
   let info =

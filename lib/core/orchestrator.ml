@@ -17,7 +17,18 @@ type config = {
   partition_max_prims : int;
   use_transform : bool;
   transform_budget : int;
+  ilp_node_limit : int;
+      (** per-segment BLP budget as a branch-and-bound node count. Node
+          counts are a deterministic measure of solver work — unlike CPU
+          time, which other worker domains inflate — so the same segment
+          stops at the same incumbent for every [jobs] value and on every
+          run *)
   ilp_time_limit_s : float;
+      (** safety net only: CPU-time cap on one BLP solve so a pathological
+          segment cannot hang the pipeline. If it ever binds (it should
+          not — [ilp_node_limit] is the intended budget), the plan may
+          stop being reproducible across [jobs] values, because CPU time
+          advances faster when several domains run concurrently *)
   ilp_rel_gap : float;
       (** relative optimality tolerance passed to the BLP solver; 0 proves
           optimality, small values (e.g. 0.002) cut solve time sharply *)
@@ -34,6 +45,15 @@ type config = {
           graph + plan. A violation raises {!Orchestration_failed} with
           the full diagnostic report instead of corrupting downstream
           stages silently *)
+  jobs : int;
+      (** worker domains used to solve independent partition segments
+          concurrently (transform search → kernel identification →
+          profiling → BLP per segment). [1] (the default) is fully
+          sequential and spawns no domains; any value produces plans
+          bit-identical to [jobs = 1] because segment results are merged
+          in segment order and the profile cache resolves each distinct
+          kernel exactly once. CLI and bench entry points default to
+          {!Parallel.Domain_pool.default_jobs} instead *)
 }
 
 let default_config =
@@ -44,11 +64,13 @@ let default_config =
     partition_max_prims = 12;
     use_transform = true;
     transform_budget = 40;
-    ilp_time_limit_s = 5.0;
+    ilp_node_limit = 1200;
+    ilp_time_limit_s = 300.0;
     ilp_rel_gap = 0.002;
     ilp_abs_gap_launches = 0.4;
     allow_redundancy = true;
     check_invariants = true;
+    jobs = 1;
   }
 
 type segment_result = {
@@ -127,7 +149,8 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) (seg : Partition
         ~extra_cuts:cuts
     in
     match
-      Lp.Ilp.solve ~time_limit_s:cfg.ilp_time_limit_s ~rel_gap:cfg.ilp_rel_gap
+      Lp.Ilp.solve ~max_nodes:cfg.ilp_node_limit ~time_limit_s:cfg.ilp_time_limit_s
+        ~rel_gap:cfg.ilp_rel_gap
         ~abs_gap:(cfg.ilp_abs_gap_launches *. cfg.spec.Gpu.Spec.launch_overhead_us)
         ~lazy_dependencies:true ~warm_start problem
     with
@@ -226,7 +249,17 @@ let stitch (original : Primgraph.t) (results : segment_result list) :
 let run_primgraph (cfg : config) (g : Primgraph.t) : result =
   let cache = Gpu.Profile_cache.create () in
   let segments = Partition.split g ~max_prims:cfg.partition_max_prims in
-  let results = List.map (solve_segment cfg ~cache) segments in
+  (* Segments are mutually independent (cross-segment tensors are Input
+     placeholders), so they can be solved on a domain pool. [map_list]
+     returns results in segment order and the profile cache is sharded
+     and locked, so the stitched plan is bit-identical to [jobs = 1]. *)
+  let jobs = min cfg.jobs (List.length segments) in
+  let results =
+    if jobs <= 1 then List.map (solve_segment cfg ~cache) segments
+    else
+      Parallel.Domain_pool.with_pool ~jobs (fun pool ->
+          Parallel.Domain_pool.map_list pool (solve_segment cfg ~cache) segments)
+  in
   let graph, kernels = stitch g results in
   let plan = Runtime.Plan.make kernels in
   if cfg.check_invariants then begin
@@ -244,7 +277,7 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
       List.fold_left
         (fun a r -> a + List.length (Primgraph.non_source_nodes r.transformed))
         0 results;
-    tuning_time_s = cache.Gpu.Profile_cache.tuning_time_s;
+    tuning_time_s = Gpu.Profile_cache.tuning_time_s cache;
   }
 
 (** [run cfg g] — orchestrate an operator-level computation graph: apply

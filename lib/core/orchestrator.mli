@@ -17,7 +17,16 @@ type config = {
   partition_max_prims : int;  (** segment size bound (default 12) *)
   use_transform : bool;  (** run the TASO-style optimizer per segment *)
   transform_budget : int;  (** graph expansions per segment search *)
-  ilp_time_limit_s : float;  (** per-segment BLP budget *)
+  ilp_node_limit : int;
+      (** per-segment BLP budget as a branch-and-bound node count
+          (default 1200) — a deterministic measure of solver work, unlike
+          CPU time, so the same segment stops at the same incumbent for
+          every [jobs] value and on every run *)
+  ilp_time_limit_s : float;
+      (** safety net only (default 300 s of CPU time): caps one BLP solve
+          so a pathological segment cannot hang the pipeline. If it ever
+          binds, plans may stop being reproducible across [jobs] values —
+          CPU time advances faster when several domains run concurrently *)
   ilp_rel_gap : float;
       (** relative optimality tolerance; 0 proves optimality, small values
           (default 0.002) cut solve time sharply *)
@@ -32,6 +41,19 @@ type config = {
           (fissioned graph, each transformed segment, stitched graph and
           plan); violations raise {!Orchestration_failed} with the full
           diagnostic report. On by default *)
+  jobs : int;
+      (** worker domains solving independent partition segments
+          concurrently. The default is [1] (sequential, no domains
+          spawned); the CLI and bench harness default to
+          {!Parallel.Domain_pool.default_jobs} via their [-j] flags.
+          Plans are bit-identical for every [jobs] value: results merge
+          in segment order, the sharded profile cache resolves each
+          distinct kernel exactly once, and the BLP budget
+          ([ilp_node_limit]) counts branch-and-bound nodes rather than
+          CPU time, so a solver stops at the same incumbent no matter
+          how many domains share the machine. (Caveat: the
+          [ilp_time_limit_s] safety net, if it ever binds, reintroduces
+          timing sensitivity.) *)
 }
 
 val default_config : config

@@ -43,8 +43,14 @@ val objective_of : problem -> int array -> float
 (** [solve ?time_limit_s ?max_nodes ?rel_gap ?abs_gap ?lazy_dependencies
     ?warm_start p] minimizes over binary assignments.
 
-    @param time_limit_s wall-clock budget (default 60 s)
-    @param max_nodes branch-and-bound node budget (default 200k)
+    @param time_limit_s CPU-time budget (default 60 s). Measured with
+           [Sys.time], i.e. process CPU time: concurrent domains make it
+           advance faster, so callers wanting run-to-run reproducibility
+           should bound work with [max_nodes] and keep this as a generous
+           safety net
+    @param max_nodes branch-and-bound node budget (default 200k) — a
+           deterministic work measure: the same problem with the same
+           budget always stops at the same incumbent
     @param rel_gap relative optimality tolerance (default 0: exact)
     @param abs_gap absolute optimality tolerance (default 0: exact)
     @param lazy_dependencies treat homogeneous [>= 0] rows as lazy cuts

@@ -1,0 +1,183 @@
+(** Fixed-size domain pool with deterministic fan-out/fan-in.
+
+    A from-scratch OCaml 5 work-sharing pool (no domainslib): [jobs] worker
+    domains are spawned once at pool creation, pull thunks from a single
+    mutex/condition-protected queue, and resolve futures that the submitter
+    awaits. The design goals, in order:
+
+    - {b determinism at the API}: {!map_array} returns results in input
+      order and re-raises the lowest-index exception, so callers observe
+      identical behaviour for any worker count — the property the
+      orchestrator's bit-identical-plans guarantee rests on;
+    - {b exception transparency}: a task that raises resolves its future
+      with the exception and the captured backtrace; {!await} re-raises at
+      the await site. Workers never die from task exceptions;
+    - {b zero overhead when sequential}: [jobs <= 1] spawns no domains at
+      all — submission runs the thunk inline on the calling domain.
+
+    Each worker owns a private splitmix64 {!Tensor.Rng.t} (seeded from the
+    pool seed and the worker index, reachable via {!worker_rng}) so
+    randomized task code never contends on — or worse, shares — generator
+    state across domains. *)
+
+(* ------------------------------ futures ------------------------------ *)
+
+type 'a state =
+  | Pending
+  | Resolved of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_lock : Mutex.t;
+  f_done : Condition.t;
+  mutable state : 'a state;
+}
+
+let make_future () = { f_lock = Mutex.create (); f_done = Condition.create (); state = Pending }
+
+let resolve (fut : 'a future) (st : 'a state) =
+  Mutex.lock fut.f_lock;
+  fut.state <- st;
+  Condition.broadcast fut.f_done;
+  Mutex.unlock fut.f_lock
+
+(** [await fut] blocks until the task behind [fut] finishes, returning its
+    value or re-raising its exception with the original backtrace. *)
+let await (fut : 'a future) : 'a =
+  Mutex.lock fut.f_lock;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+      Condition.wait fut.f_done fut.f_lock;
+      wait ()
+    | st -> st
+  in
+  let st = wait () in
+  Mutex.unlock fut.f_lock;
+  match st with
+  | Resolved v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+(* ---------------------------- worker state ---------------------------- *)
+
+type worker_ctx = { id : int; rng : Tensor.Rng.t }
+
+let ctx_key : worker_ctx option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let worker_id () = Option.map (fun c -> c.id) (Domain.DLS.get ctx_key)
+let worker_rng () = Option.map (fun c -> c.rng) (Domain.DLS.get ctx_key)
+
+(* ------------------------------- pool -------------------------------- *)
+
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  has_work : Condition.t;  (** signalled on push and on close *)
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size (pool : t) = pool.jobs
+
+(* Mix the pool seed with the worker index so workers draw from disjoint
+   splitmix64 streams (the increment constant keeps streams decorrelated
+   even for adjacent seeds). *)
+let worker_seed ~seed ~index = seed + ((index + 1) * 0x2545F4914F6CDD1D)
+
+let rec worker_loop (pool : t) =
+  Mutex.lock pool.lock;
+  let rec next () =
+    match Queue.take_opt pool.queue with
+    | Some task -> Some task
+    | None ->
+      if pool.closed then None
+      else begin
+        Condition.wait pool.has_work pool.lock;
+        next ()
+      end
+  in
+  let task = next () in
+  Mutex.unlock pool.lock;
+  match task with
+  | None -> ()
+  | Some task ->
+    task ();
+    worker_loop pool
+
+let max_jobs = 128
+
+let create ?(seed = 1) ~jobs () : t =
+  if jobs < 1 then invalid_arg "Domain_pool.create: jobs must be >= 1";
+  let jobs = min jobs max_jobs in
+  let pool =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      has_work = Condition.create ();
+      closed = false;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    pool.domains <-
+      List.init jobs (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set ctx_key
+                (Some { id = i; rng = Tensor.Rng.create (worker_seed ~seed ~index:i) });
+              worker_loop pool));
+  pool
+
+(** [shutdown pool] drains the queue (workers finish every submitted task)
+    and joins all worker domains. Idempotent. *)
+let shutdown (pool : t) =
+  Mutex.lock pool.lock;
+  pool.closed <- true;
+  Condition.broadcast pool.has_work;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let submit (pool : t) (f : unit -> 'a) : 'a future =
+  let fut = make_future () in
+  let run () =
+    let st = try Resolved (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ()) in
+    resolve fut st
+  in
+  if pool.jobs <= 1 then run ()
+  else begin
+    Mutex.lock pool.lock;
+    if pool.closed then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Domain_pool.submit: pool is shut down"
+    end;
+    Queue.push run pool.queue;
+    Condition.signal pool.has_work;
+    Mutex.unlock pool.lock
+  end;
+  fut
+
+let map_array (pool : t) (f : 'a -> 'b) (arr : 'a array) : 'b array =
+  if pool.jobs <= 1 || Array.length arr <= 1 then Array.map f arr
+  else begin
+    let futures = Array.map (fun x -> submit pool (fun () -> f x)) arr in
+    (* Await in index order: the lowest-index exception wins, and the
+       result array is ordered regardless of completion order. *)
+    Array.map await futures
+  end
+
+let map_list (pool : t) (f : 'a -> 'b) (l : 'a list) : 'b list =
+  Array.to_list (map_array pool f (Array.of_list l))
+
+let with_pool ?seed ~jobs (f : t -> 'a) : 'a =
+  let pool = create ?seed ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(** [default_jobs ()] — [Domain.recommended_domain_count ()] capped at
+    [cap] (default 8): beyond a handful of segments per model there is
+    nothing left to farm out, and over-subscribing domains on small
+    machines costs more in spawn/contention than it buys. *)
+let default_jobs ?(cap = 8) () = max 1 (min cap (Domain.recommended_domain_count ()))

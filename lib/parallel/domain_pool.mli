@@ -1,0 +1,63 @@
+(** Fixed-size domain pool with deterministic fan-out/fan-in.
+
+    A from-scratch OCaml 5 work-sharing pool (no domainslib): worker
+    domains are spawned once, pull thunks from a mutex/condition work
+    queue, and resolve futures the submitter awaits. {!map_array} preserves
+    input order and re-raises the lowest-index exception, so callers
+    observe identical behaviour for any worker count — the property the
+    orchestrator's bit-identical-plans guarantee rests on. With
+    [jobs <= 1] no domains are spawned and every task runs inline on the
+    calling domain. *)
+
+type t
+
+(** A handle to the eventual result of a submitted task. *)
+type 'a future
+
+(** [create ?seed ~jobs ()] spawns [jobs] worker domains ([jobs] is capped
+    at 128; [jobs <= 1] spawns none). [seed] (default 1) derives each
+    worker's private {!Tensor.Rng.t} stream.
+
+    Raises [Invalid_argument] when [jobs < 1]. *)
+val create : ?seed:int -> jobs:int -> unit -> t
+
+(** Number of workers the pool was created with. *)
+val size : t -> int
+
+(** [submit pool f] enqueues [f] and returns its future. On a sequential
+    pool ([jobs <= 1]) the thunk runs inline before [submit] returns.
+
+    Raises [Invalid_argument] after {!shutdown}. *)
+val submit : t -> (unit -> 'a) -> 'a future
+
+(** [await fut] blocks until the task finishes; returns its value or
+    re-raises its exception with the original backtrace. *)
+val await : 'a future -> 'a
+
+(** [map_array pool f arr] applies [f] to every element on the pool and
+    returns results in input order. If several tasks raise, the exception
+    of the lowest index is re-raised. *)
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** List version of {!map_array}. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [shutdown pool] drains the queue (all submitted tasks complete) and
+    joins the workers. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ?seed ~jobs f] — [create], run [f], always [shutdown]. *)
+val with_pool : ?seed:int -> jobs:int -> (t -> 'a) -> 'a
+
+(** [worker_id ()] — index of the executing pool worker; [None] on domains
+    that are not pool workers (including the caller of a sequential pool). *)
+val worker_id : unit -> int option
+
+(** [worker_rng ()] — the executing worker's private deterministic
+    generator (seeded from the pool seed and worker index); [None] outside
+    a pool worker. *)
+val worker_rng : unit -> Tensor.Rng.t option
+
+(** [default_jobs ()] — [Domain.recommended_domain_count ()] capped at
+    [cap] (default 8). *)
+val default_jobs : ?cap:int -> unit -> int

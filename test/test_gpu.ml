@@ -213,13 +213,14 @@ let test_cache_counts_tuning_once () =
   let members = all_members g in
   let p () = Gpu.Profile_cache.profile cache cfg ~spec ~precision g members ~outputs:[ out ] in
   let r1 = Option.get (p ()) in
-  let t1 = cache.Gpu.Profile_cache.tuning_time_s in
+  let t1 = Gpu.Profile_cache.tuning_time_s cache in
   let r2 = Option.get (p ()) in
   Alcotest.(check (float 1e-9)) "same latency" r1.Gpu.Profiler.latency_us r2.Gpu.Profiler.latency_us;
   Alcotest.(check (float 1e-9)) "tuning time unchanged on hit" t1
-    cache.Gpu.Profile_cache.tuning_time_s;
+    (Gpu.Profile_cache.tuning_time_s cache);
   Alcotest.(check int) "one distinct kernel" 1 (Gpu.Profile_cache.distinct_kernels cache);
-  Alcotest.(check int) "hit counted" 1 cache.Gpu.Profile_cache.hits
+  Alcotest.(check int) "hit counted" 1 (Gpu.Profile_cache.hits cache);
+  Alcotest.(check int) "miss counted" 1 (Gpu.Profile_cache.misses cache)
 
 let test_signature_structural () =
   (* Structurally identical subgraphs in different graph regions share a

@@ -1,0 +1,289 @@
+(* Property-based test layer (qcheck):
+
+   - Lp.Ilp.solve vs the Lp.Exhaustive oracle on seeded random BLP
+     instances shaped like the orchestration problems (covering rows plus
+     homogeneous dependency rows, <= 18 variables): returned incumbents
+     are feasible and within the configured optimality gaps;
+   - Ir.Bitset vs a naive bool-array reference model, including the
+     63/64/65-bit word-boundary widths;
+   - broadcast/shape algebra and Tensor.View strided views vs the dense
+     Ops_layout reference copies.
+
+   All generators run under the fixed seed below so failures reproduce;
+   qcheck prints the shrunk counterexample on failure, and rerunning with
+   QCHECK_SEED=<seed> reproduces the exact stream. *)
+
+open Tensor
+
+let qcheck_seed = 0x5EED5
+
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest ~verbose:false ~rand:(Random.State.make [| qcheck_seed |]) t
+
+(* ------------------------------------------------------------------ *)
+(* BLP: branch-and-bound vs exhaustive oracle, with gap tolerances.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Instances shaped like Blp_formulation's output: n binary variables,
+   covering rows (sum over a subset >= 1) and dependency rows
+   (sum of publishers - u_k >= 0). Sizes are skewed small so the 2^n
+   oracle stays fast, with a tail up to the 18-variable bound. *)
+let random_blp =
+  let open QCheck2.Gen in
+  let* n = frequency [ (8, int_range 2 10); (3, int_range 11 15); (1, int_range 16 18) ] in
+  let* n_cover = int_range 1 6 in
+  let* n_dep = int_range 0 6 in
+  let* costs = list_size (return n) (float_range 0.5 10.0) in
+  let subset = list_size (return n) (int_range 0 1) in
+  let* covers = list_size (return n_cover) subset in
+  let* deps = list_size (return n_dep) (pair subset (int_range 0 (n - 1))) in
+  let rows =
+    List.map
+      (fun s -> (Array.of_list (List.map float_of_int s), Lp.Simplex.Ge, 1.0))
+      covers
+    @ List.map
+        (fun (s, k) ->
+          let row = Array.of_list (List.map float_of_int s) in
+          row.(k) <- row.(k) -. 1.0;
+          (row, Lp.Simplex.Ge, 0.0))
+        deps
+  in
+  return { Lp.Ilp.minimize = Array.of_list costs; rows }
+
+let print_blp (p : Lp.Ilp.problem) =
+  Printf.sprintf "n=%d rows=[%s]"
+    (Array.length p.Lp.Ilp.minimize)
+    (String.concat "; "
+       (List.map
+          (fun (row, _, b) ->
+            Printf.sprintf "%s >= %g"
+              (String.concat "+" (List.map string_of_float (Array.to_list row)))
+              b)
+          p.Lp.Ilp.rows))
+
+let rel_gap = 0.01
+let abs_gap = 0.05
+
+let prop_ilp_within_gaps =
+  QCheck2.Test.make ~name:"Ilp.solve is feasible and within the configured gaps" ~count:200
+    ~print:print_blp random_blp (fun p ->
+      let bb = Lp.Ilp.solve ~time_limit_s:30.0 ~rel_gap ~abs_gap p in
+      let ex = Lp.Exhaustive.solve p in
+      match (bb, ex) with
+      | Some s, Some (_, opt) when s.Lp.Ilp.status <> Lp.Ilp.Infeasible ->
+        Lp.Ilp.is_feasible_binary p s.Lp.Ilp.x
+        && Float.abs (Lp.Ilp.objective_of p s.Lp.Ilp.x -. s.Lp.Ilp.objective) <= 1e-6
+        && s.Lp.Ilp.objective >= opt -. 1e-6
+        && (s.Lp.Ilp.status <> Lp.Ilp.Optimal
+           || s.Lp.Ilp.objective <= opt +. abs_gap +. (rel_gap *. Float.abs opt) +. 1e-6)
+      | Some s, None -> s.Lp.Ilp.status = Lp.Ilp.Infeasible
+      | Some _, Some _ -> false (* solver claims infeasible, oracle disagrees *)
+      | None, _ -> false)
+
+let prop_ilp_lazy_warm_exact =
+  (* The orchestrator's configuration: lazy dependency separation and a
+     warm start. With zero gaps an Optimal status must match the oracle
+     exactly. *)
+  QCheck2.Test.make ~name:"Ilp.solve (lazy deps + warm start) matches the oracle exactly"
+    ~count:200 ~print:print_blp random_blp (fun p ->
+      let ex = Lp.Exhaustive.solve p in
+      let warm_start = Option.map fst ex in
+      let bb = Lp.Ilp.solve ~time_limit_s:30.0 ~lazy_dependencies:true ?warm_start p in
+      match (bb, ex) with
+      | Some s, Some (_, opt) when s.Lp.Ilp.status = Lp.Ilp.Optimal ->
+        Lp.Ilp.is_feasible_binary p s.Lp.Ilp.x
+        && Float.abs (s.Lp.Ilp.objective -. opt) <= 1e-6
+      | Some s, Some _ -> s.Lp.Ilp.status = Lp.Ilp.TimeLimit (* budget, not a wrong answer *)
+      | Some s, None -> s.Lp.Ilp.status = Lp.Ilp.Infeasible
+      | None, _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset vs bool-array reference model.                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Widths concentrate on the 63/64/65 word boundaries (one OCaml word
+   holds 63 bits), plus the two-word boundary at 126/127. *)
+let bitset_case =
+  let open QCheck2.Gen in
+  let* width = frequency [ (2, int_range 1 130); (3, oneofl [ 63; 64; 65; 126; 127 ]) ] in
+  let idx = int_range 0 (width - 1) in
+  let* a = list_size (int_range 0 (2 * width)) idx in
+  let* b = list_size (int_range 0 (2 * width)) idx in
+  return (width, a, b)
+
+let print_bitset_case (width, a, b) =
+  Printf.sprintf "width=%d a=[%s] b=[%s]" width
+    (String.concat ";" (List.map string_of_int a))
+    (String.concat ";" (List.map string_of_int b))
+
+(* The reference model: membership as a bool array. *)
+let model width l =
+  let m = Array.make width false in
+  List.iter (fun i -> m.(i) <- true) l;
+  m
+
+let model_elements m =
+  List.filter (fun i -> m.(i)) (List.init (Array.length m) Fun.id)
+
+let bitset_matches_model (s : Ir.Bitset.t) (m : bool array) =
+  Ir.Bitset.elements s = model_elements m
+  && Ir.Bitset.cardinal s = List.length (model_elements m)
+  && Array.for_all Fun.id (Array.mapi (fun i v -> Ir.Bitset.mem s i = v) m)
+  && Ir.Bitset.is_empty s = Array.for_all not m
+
+let prop_bitset_model =
+  QCheck2.Test.make ~name:"Bitset set algebra agrees with the bool-array model" ~count:300
+    ~print:print_bitset_case bitset_case (fun (width, la, lb) ->
+      let a = Ir.Bitset.of_list width la and b = Ir.Bitset.of_list width lb in
+      let ma = model width la and mb = model width lb in
+      let zip2 f = Array.init width (fun i -> f ma.(i) mb.(i)) in
+      bitset_matches_model a ma && bitset_matches_model b mb
+      && bitset_matches_model (Ir.Bitset.union a b) (zip2 ( || ))
+      && bitset_matches_model (Ir.Bitset.inter a b) (zip2 ( && ))
+      && bitset_matches_model (Ir.Bitset.diff a b) (zip2 (fun x y -> x && not y))
+      && Ir.Bitset.subset a b
+         = Array.for_all Fun.id (zip2 (fun x y -> (not x) || y))
+      && Ir.Bitset.equal a b = (ma = mb)
+      && Ir.Bitset.fold (fun i acc -> i :: acc) a [] = List.rev (model_elements ma))
+
+let prop_bitset_persistence =
+  QCheck2.Test.make ~name:"Bitset add/remove are persistent" ~count:300
+    ~print:print_bitset_case bitset_case (fun (width, la, lb) ->
+      let a = Ir.Bitset.of_list width la in
+      let before = Ir.Bitset.elements a in
+      let i = match lb with x :: _ -> x | [] -> 0 in
+      let _grown = Ir.Bitset.add a i and _shrunk = Ir.Bitset.remove a i in
+      Ir.Bitset.elements a = before
+      && Ir.Bitset.mem (Ir.Bitset.add a i) i
+      && not (Ir.Bitset.mem (Ir.Bitset.remove a i) i))
+
+(* ------------------------------------------------------------------ *)
+(* Shape broadcasting and strided views.                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A broadcast-compatible pair: both operands are the base shape with a
+   random suffix kept and random dimensions squashed to 1. *)
+let broadcast_pair =
+  let open QCheck2.Gen in
+  let* base = array_size (int_range 0 4) (int_range 1 5) in
+  let rank = Array.length base in
+  let variant =
+    let* keep = int_range 0 rank in
+    let* squash = list_size (return keep) bool in
+    let tail = Array.sub base (rank - keep) keep in
+    return (Array.of_list (List.mapi (fun i d -> if List.nth squash i then 1 else d) (Array.to_list tail)))
+  in
+  let* a = variant and* b = variant in
+  return (base, a, b)
+
+let print_shapes (base, a, b) =
+  Printf.sprintf "base=%s a=%s b=%s" (Shape.to_string base) (Shape.to_string a)
+    (Shape.to_string b)
+
+let prop_broadcast_commutative =
+  QCheck2.Test.make ~name:"Shape.broadcast is commutative-compatible" ~count:300
+    ~print:print_shapes broadcast_pair (fun (base, a, b) ->
+      let ab = Shape.broadcast a b in
+      Shape.equal ab (Shape.broadcast b a)
+      (* both operands embed in the result, and the result embeds in base *)
+      && Shape.equal (Shape.broadcast ab a) ab
+      && Shape.equal (Shape.broadcast ab b) ab
+      && Shape.equal (Shape.broadcast base ab) base)
+
+let prop_broadcast_scalar_identity =
+  QCheck2.Test.make ~name:"broadcasting with a scalar is the identity" ~count:300
+    ~print:print_shapes broadcast_pair (fun (_, a, _) ->
+      Shape.equal (Shape.broadcast a [||]) a && Shape.equal (Shape.broadcast [||] a) a)
+
+(* Random small tensor plus a permutation of its axes. *)
+let tensor_and_perm =
+  let open QCheck2.Gen in
+  let* shape = array_size (int_range 1 4) (int_range 1 5) in
+  let rank = Array.length shape in
+  let* seed = int_range 1 1_000_000 in
+  let* perm =
+    (* Fisher-Yates from a list of generated swaps. *)
+    let* swaps = list_size (return rank) (int_range 0 (rank - 1)) in
+    let p = Array.init rank Fun.id in
+    List.iteri
+      (fun i j ->
+        let t = p.(i) in
+        p.(i) <- p.(j);
+        p.(j) <- t)
+      swaps;
+    return p
+  in
+  return (Nd.rand (Rng.create seed) shape, perm)
+
+let print_tensor_perm (t, perm) =
+  Printf.sprintf "shape=%s perm=[%s]" (Shape.to_string (Nd.shape t))
+    (String.concat ";" (Array.to_list (Array.map string_of_int perm)))
+
+let prop_view_transpose =
+  QCheck2.Test.make ~name:"View.transpose get matches the dense Ops_layout.transpose"
+    ~count:300 ~print:print_tensor_perm tensor_and_perm (fun (t, perm) ->
+      let dense = Ops_layout.transpose t perm in
+      let v = View.transpose (View.of_nd t) perm in
+      Shape.equal (View.shape v) (Nd.shape dense)
+      && Nd.equal (View.to_nd v) dense
+      (* pointwise, through the stride arithmetic rather than to_nd *)
+      && List.for_all
+           (fun k ->
+             let idx = Shape.unravel (Nd.shape dense) k in
+             View.get v idx = Nd.get dense idx)
+           (List.init (Nd.numel dense) Fun.id))
+
+let prop_view_transpose_reshape =
+  QCheck2.Test.make
+    ~name:"View.reshape after transpose matches transpose-then-reshape dense copies"
+    ~count:300 ~print:print_tensor_perm tensor_and_perm (fun (t, perm) ->
+      let n = Nd.numel t in
+      let flat = [| n |] in
+      let v = View.reshape (View.transpose (View.of_nd t) perm) flat in
+      let dense = Nd.reshape (Ops_layout.transpose t perm) flat in
+      Nd.equal (View.to_nd v) dense
+      (* contiguous reshape of an untransposed view is Nd.reshape *)
+      && Nd.equal (View.to_nd (View.reshape (View.of_nd t) flat)) (Nd.reshape t flat))
+
+let tensor_and_box =
+  let open QCheck2.Gen in
+  let* shape = array_size (int_range 1 4) (int_range 1 5) in
+  let* seed = int_range 1 1_000_000 in
+  let* cuts =
+    array_size
+      (return (Array.length shape))
+      (pair (float_range 0.0 1.0) (float_range 0.0 1.0))
+  in
+  let starts = Array.mapi (fun i (a, _) -> int_of_float (a *. float_of_int shape.(i))) cuts in
+  let stops =
+    Array.mapi
+      (fun i (_, b) ->
+        let lo = starts.(i) in
+        lo + max 0 (int_of_float (b *. float_of_int (shape.(i) - lo))))
+      cuts
+  in
+  return (Nd.rand (Rng.create seed) shape, starts, stops)
+
+let print_tensor_box (t, starts, stops) =
+  Printf.sprintf "shape=%s starts=%s stops=%s" (Shape.to_string (Nd.shape t))
+    (Shape.to_string starts) (Shape.to_string stops)
+
+let prop_view_slice =
+  QCheck2.Test.make ~name:"View.slice get matches the dense Ops_layout.slice" ~count:300
+    ~print:print_tensor_box tensor_and_box (fun (t, starts, stops) ->
+      let dense = Ops_layout.slice t ~starts ~stops in
+      let v = View.slice (View.of_nd t) ~starts ~stops in
+      Nd.equal (View.to_nd v) dense)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( Printf.sprintf "blp oracle (seed %#x)" qcheck_seed,
+        List.map to_alcotest [ prop_ilp_within_gaps; prop_ilp_lazy_warm_exact ] );
+      ( Printf.sprintf "bitset model (seed %#x)" qcheck_seed,
+        List.map to_alcotest [ prop_bitset_model; prop_bitset_persistence ] );
+      ( Printf.sprintf "shape & views (seed %#x)" qcheck_seed,
+        List.map to_alcotest
+          [ prop_broadcast_commutative; prop_broadcast_scalar_identity; prop_view_transpose;
+            prop_view_transpose_reshape; prop_view_slice ] );
+    ]
