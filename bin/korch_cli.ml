@@ -64,6 +64,43 @@ let verbose_arg =
   let doc = "Print the full kernel plan." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let inject_conv =
+  let parse s =
+    match Faults.parse_rule s with Ok r -> Ok r | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf (site, spec) ->
+        Format.fprintf ppf "%s:%s" (Faults.site_to_string site) (Faults.spec_to_string spec) )
+
+let inject_arg =
+  let doc =
+    "Inject a deterministic synthetic fault at SITE \
+     (profiler|ilp_solve|enumerate|transform|worker|onnx_parse) according to SPEC \
+     ($(b,always), $(b,nth=K) for the K-th call, or $(b,p=P) for seeded probability P). \
+     Repeatable. The orchestrator degrades the affected segment down its fallback ladder \
+     instead of failing; the per-segment outcome table shows where each landed."
+  in
+  Arg.(value & opt_all inject_conv [] & info [ "inject" ] ~docv:"SITE:SPEC" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Seed for probabilistic fault rules: the same seed and rules reproduce the same \
+     injections, and therefore the same degraded plan, on every run."
+  in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+(* Install the CLI-level injection policy before anything (including ONNX
+   parsing) runs, so every site — not just the orchestrated ones — can
+   fire. *)
+let install_faults rules seed = if rules <> [] then Faults.install ~seed rules
+
+(* Per-segment outcome table, shown whenever a segment degraded (or on
+   -v): which ladder tier each segment landed on and why. *)
+let print_outcomes ~verbose (r : Korch.Orchestrator.result) =
+  if verbose || r.Korch.Orchestrator.degraded_segments <> [] then
+    print_string (Korch.Report.segment_table r)
+
 let find_model name =
   match Models.Registry.find name with
   | Some e -> e
@@ -106,7 +143,9 @@ let list_cmd =
 
 (* ----------------------- optimize ----------------------- *)
 
-let optimize_action model gpu precision batch small window jobs verbose dot streams =
+let optimize_action model gpu precision batch small window jobs verbose dot streams inject
+    fault_seed =
+  install_faults inject fault_seed;
   let entry = find_model model in
   let g = build_graph entry ~small ~batch in
   let t0 = Sys.time () in
@@ -115,6 +154,7 @@ let optimize_action model gpu precision batch small window jobs verbose dot stre
     (Gpu.Precision.to_string precision) batch;
   print_string (Korch.Report.summary r);
   Printf.printf "  wall-clock opt  : %.1f s\n" (Sys.time () -. t0);
+  print_outcomes ~verbose r;
   if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan;
   (match dot with
   | Some path ->
@@ -142,7 +182,8 @@ let optimize_cmd =
              & info [ "dot" ] ~docv:"FILE" ~doc:"Write the plan as a Graphviz DOT file.")
       $ Arg.(value & opt int 1
              & info [ "streams" ] ~docv:"N"
-                 ~doc:"Also project the plan onto N concurrent streams."))
+                 ~doc:"Also project the plan onto N concurrent streams.")
+      $ inject_arg $ fault_seed_arg)
 
 (* ----------------------- compare ----------------------- *)
 
@@ -249,9 +290,9 @@ let check_action model file gpu precision batch small window jobs rules verbose 
     stage "stitched graph" (Verify.graph_check r.Korch.Orchestrator.graph);
     stage "kernel plan"
       (Verify.plan_check r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan)
-  | exception Korch.Orchestrator.Orchestration_failed msg ->
+  | exception Korch.Orchestrator.Orchestration_failed e ->
     failed := true;
-    Printf.printf "orchestration failed: %s\n" msg);
+    Printf.printf "orchestration failed: %s\n" (Korch.Orchestrator.Error.to_string e));
   if rules then stage "rewrite rules" (Verify.lint_rules ());
   if !failed then begin
     print_endline "check: FAILED";
@@ -282,14 +323,22 @@ let check_cmd =
 
 (* -------------------------- run ------------------------- *)
 
-let run_action file gpu precision window jobs verbose =
+let run_action file gpu precision window jobs verbose inject fault_seed =
+  install_faults inject fault_seed;
   let ic = open_in file in
   let len = in_channel_length ic in
   let doc = really_input_string ic len in
   close_in ic;
-  let g = Onnx.Deserialize.opgraph_of_string doc in
+  let g =
+    match Onnx.Deserialize.opgraph_of_string doc with
+    | g -> g
+    | exception Onnx.Deserialize.Format_error m ->
+      Printf.eprintf "%s: %s\n" file m;
+      exit 1
+  in
   let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window ~jobs) g in
   print_string (Korch.Report.summary r);
+  print_outcomes ~verbose r;
   if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan;
   (* Execute the plan on random inputs as a functional check. *)
   let inputs =
@@ -315,7 +364,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize and execute an ONNX-JSON graph")
     Term.(
-      const run_action $ file $ gpu_arg $ precision_arg $ window_arg $ jobs_arg $ verbose_arg)
+      const run_action $ file $ gpu_arg $ precision_arg $ window_arg $ jobs_arg $ verbose_arg
+      $ inject_arg $ fault_seed_arg)
 
 let () =
   let info =

@@ -11,10 +11,15 @@ open Ir
 
 exception Too_many_states of int
 
-(** [enumerate g ~max_states] — all execution states of [g], each
-    including every source node. Raises {!Too_many_states} when the bound
-    is exceeded. *)
-let enumerate (g : Primgraph.t) ~(max_states : int) : Bitset.t list =
+(** [enumerate_bounded g ~max_states] — execution states of [g] up to the
+    bound, each including every source node, plus a truncation flag. When
+    the bound binds, the states found so far are returned with
+    [truncated = true]: every pairwise difference of genuine execution
+    states is still a valid convex subgraph (Theorem 1 needs no
+    completeness), so callers can degrade to a sparser candidate set
+    instead of aborting. *)
+let enumerate_bounded (g : Primgraph.t) ~(max_states : int) : Bitset.t list * bool =
+  Faults.check Faults.Enumerate;
   let n = Graph.length g in
   let sources =
     Array.fold_left
@@ -24,6 +29,7 @@ let enumerate (g : Primgraph.t) ~(max_states : int) : Bitset.t list =
   let db = Bitset.Table.create 256 in
   Bitset.Table.replace db sources ();
   let count = ref 1 in
+  let truncated = ref false in
   let rec dfs (x : Bitset.t) =
     for v = 0 to n - 1 do
       if not (Bitset.mem x v) then begin
@@ -31,17 +37,27 @@ let enumerate (g : Primgraph.t) ~(max_states : int) : Bitset.t list =
         if ready then begin
           let x' = Bitset.add x v in
           if not (Bitset.Table.mem db x') then begin
-            incr count;
-            if !count > max_states then raise (Too_many_states !count);
-            Bitset.Table.replace db x' ();
-            dfs x'
+            if !count >= max_states then truncated := true
+            else begin
+              incr count;
+              Bitset.Table.replace db x' ();
+              dfs x'
+            end
           end
         end
       end
     done
   in
   dfs sources;
-  Bitset.Table.fold (fun s () acc -> s :: acc) db []
+  (Bitset.Table.fold (fun s () acc -> s :: acc) db [], !truncated)
+
+(** [enumerate g ~max_states] — all execution states of [g], each
+    including every source node. Raises {!Too_many_states} when the bound
+    is exceeded. *)
+let enumerate (g : Primgraph.t) ~(max_states : int) : Bitset.t list =
+  let states, truncated = enumerate_bounded g ~max_states in
+  if truncated then raise (Too_many_states (List.length states + 1));
+  states
 
 (** [theorem1_check g s] — test oracle for Theorem 1: [s] (a set of
     non-source nodes) is a convex subgraph iff it is the difference of two

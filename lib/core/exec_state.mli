@@ -12,6 +12,13 @@ open Ir
     callers partition wide graphs first. *)
 exception Too_many_states of int
 
+(** [enumerate_bounded g ~max_states] — execution states of [g] up to the
+    bound, plus a flag saying whether enumeration was truncated there.
+    Truncation degrades gracefully: differences of the returned states are
+    still valid convex subgraphs, just not all of them. Carries the
+    {!Faults.site-Enumerate} fault-injection site. *)
+val enumerate_bounded : Primgraph.t -> max_states:int -> Bitset.t list * bool
+
 (** [enumerate g ~max_states] — every execution state of [g], each
     including all source nodes (inputs/constants are always "computed").
 

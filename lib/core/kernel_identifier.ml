@@ -32,12 +32,31 @@ let default_config =
 
 type stats = {
   states : int;
+  states_truncated : bool;
+      (** enumeration stopped at [max_states]: the candidate set below is
+          valid but incomplete, and callers should surface the truncation *)
   distinct_subgraphs : int;
   profiled : int;  (** candidate (subgraph, output-set) pairs profiled *)
   accepted : int;
   rejected : int;
   prefiltered : int;
+  profile_failures : int;
+      (** profiler calls that {e raised} (injected faults / crashed
+          measurements), counted within [rejected] — per-candidate
+          measurement failure is routine, not fatal *)
 }
+
+let empty_stats =
+  {
+    states = 0;
+    states_truncated = false;
+    distinct_subgraphs = 0;
+    profiled = 0;
+    accepted = 0;
+    rejected = 0;
+    prefiltered = 0;
+    profile_failures = 0;
+  }
 
 let nonempty_subsets (l : int list) : int list list =
   let rec go = function
@@ -52,7 +71,7 @@ let nonempty_subsets (l : int list) : int list list =
     kernels of [g], plus enumeration statistics. *)
 let identify (cfg : config) ~(spec : Gpu.Spec.t) ~(precision : Gpu.Precision.t)
     ~(cache : Gpu.Profile_cache.t) (g : Primgraph.t) : Candidate.t array * stats =
-  let states = Exec_state.enumerate g ~max_states:cfg.max_states in
+  let states, states_truncated = Exec_state.enumerate_bounded g ~max_states:cfg.max_states in
   let n_states = List.length states in
   (* Distinct convex subgraphs from pairwise differences. *)
   let subgraphs = Bitset.Table.create 256 in
@@ -70,6 +89,7 @@ let identify (cfg : config) ~(spec : Gpu.Spec.t) ~(precision : Gpu.Precision.t)
         states)
     states;
   let profiled = ref 0 and accepted = ref [] and rejected = ref 0 in
+  let profile_failures = ref 0 in
   Bitset.Table.iter
     (fun members () ->
       let boundary = Graph.boundary_outputs g members in
@@ -100,7 +120,12 @@ let identify (cfg : config) ~(spec : Gpu.Spec.t) ~(precision : Gpu.Precision.t)
                 }
             in
             accepted := c :: !accepted
-          | None -> incr rejected)
+          | None -> incr rejected
+          | exception Faults.Injected _ ->
+            (* A measurement failed mid-tuning. TVM-style tuners treat this
+               as routine — log the candidate as rejected and keep going. *)
+            incr rejected;
+            incr profile_failures)
         output_sets)
     subgraphs;
   let candidates = Array.of_list (List.rev !accepted) in
@@ -146,9 +171,11 @@ let identify (cfg : config) ~(spec : Gpu.Spec.t) ~(precision : Gpu.Precision.t)
   ( candidates,
     {
       states = n_states;
+      states_truncated;
       distinct_subgraphs = Bitset.Table.length subgraphs;
       profiled = !profiled;
       accepted = Array.length candidates + prefiltered;
       rejected = !rejected;
       prefiltered;
+      profile_failures = !profile_failures;
     } )

@@ -26,12 +26,22 @@ val default_config : config
 
 type stats = {
   states : int;
+  states_truncated : bool;
+      (** enumeration stopped at [max_states]: the candidate set is valid
+          but incomplete, and callers should surface the truncation *)
   distinct_subgraphs : int;
   profiled : int;  (** (subgraph, output-set) pairs sent to the profiler *)
   accepted : int;
   rejected : int;
   prefiltered : int;  (** accepted candidates later dropped as dominated *)
+  profile_failures : int;
+      (** profiler calls that raised (injected faults / crashed
+          measurements); counted within [rejected] *)
 }
+
+(** All-zero statistics — the record for a segment whose identification
+    was skipped or failed entirely. *)
+val empty_stats : stats
 
 (** [identify cfg ~spec ~precision ~cache g] — all accepted candidate
     kernels of [g] plus enumeration statistics. Structurally identical

@@ -6,9 +6,103 @@
 
     If a BLP solution cannot be scheduled (mutually dependent kernels,
     which Eq. 4 does not exclude), a no-good cut is added and the BLP is
-    re-solved — a small cutting-plane loop around the solver. *)
+    re-solved — a small cutting-plane loop around the solver.
+
+    Robustness: no single segment may kill an orchestration. Each segment
+    walks a degradation ladder — full BLP ([Optimal]) → node-limited
+    incumbent ([Incumbent]) → greedy fusion from a warm start ([Greedy])
+    → one kernel per primitive ([Unfused]) — so a profiler crash, solver
+    blow-up or worker-domain death degrades that one segment instead of
+    aborting the run. The unfused strategy is always constructible and
+    always schedulable (each kernel waits only on graph predecessors), so
+    the ladder has a guaranteed floor. [fail_fast] restores the old
+    behaviour of raising at the first per-segment failure. *)
 
 open Ir
+
+(** Structured orchestration errors: which segment, which pipeline stage,
+    what happened — replacing the old stringly-typed failure. *)
+module Error = struct
+  type site =
+    | Transform
+    | Enumerate
+    | Profile
+    | Solve
+    | Schedule
+    | Worker
+    | Stitch
+    | Verify
+
+  let site_to_string = function
+    | Transform -> "transform"
+    | Enumerate -> "enumerate"
+    | Profile -> "profile"
+    | Solve -> "solve"
+    | Schedule -> "schedule"
+    | Worker -> "worker"
+    | Stitch -> "stitch"
+    | Verify -> "verify"
+
+  type t = {
+    segment : int option;  (** segment index, when the failure is local *)
+    site : site;
+    detail : string;
+  }
+
+  let to_string { segment; site; detail } =
+    match segment with
+    | Some i -> Printf.sprintf "[segment %d/%s] %s" i (site_to_string site) detail
+    | None -> Printf.sprintf "[%s] %s" (site_to_string site) detail
+end
+
+exception Orchestration_failed of Error.t
+
+let () =
+  Printexc.register_printer (function
+    | Orchestration_failed e -> Some ("Orchestration_failed: " ^ Error.to_string e)
+    | _ -> None)
+
+let orch_fail ?segment (site : Error.site) fmt =
+  Printf.ksprintf
+    (fun detail -> raise (Orchestration_failed { Error.segment; site; detail }))
+    fmt
+
+(** Degradation-ladder tier a segment's final plan came from. *)
+type tier =
+  | Optimal  (** BLP solved to proven optimality (up to the gaps) *)
+  | Incumbent  (** BLP budget hit; best incumbent used — routine, not degraded *)
+  | Greedy  (** BLP unusable; greedy fusion from the all-singletons start *)
+  | Unfused  (** ladder floor: one kernel per primitive *)
+
+let tier_to_string = function
+  | Optimal -> "optimal"
+  | Incumbent -> "incumbent"
+  | Greedy -> "greedy"
+  | Unfused -> "unfused"
+
+(** Lower is better; [Greedy] and up count as degraded. *)
+let tier_rank = function Optimal -> 0 | Incumbent -> 1 | Greedy -> 2 | Unfused -> 3
+
+let tier_is_degraded t = tier_rank t >= tier_rank Greedy
+
+type outcome = {
+  tier : tier;
+  retries : int;  (** worker-domain failures retried on the main domain *)
+  fallback_reason : string option;
+      (** first failure that pushed the segment down the ladder *)
+  time_limit_hit : bool;  (** BLP CPU-time safety net bound (see config) *)
+  transform_degraded : bool;
+      (** transformation search failed; plain CSE (or the raw segment)
+          was used instead *)
+}
+
+let ok_outcome = {
+  tier = Optimal;
+  retries = 0;
+  fallback_reason = None;
+  time_limit_hit = false;
+  transform_degraded = false;
+}
 
 type config = {
   spec : Gpu.Spec.t;
@@ -28,7 +122,8 @@ type config = {
           segment cannot hang the pipeline. If it ever binds (it should
           not — [ilp_node_limit] is the intended budget), the plan may
           stop being reproducible across [jobs] values, because CPU time
-          advances faster when several domains run concurrently *)
+          advances faster when several domains run concurrently. Binding
+          is surfaced via [outcome.time_limit_hit] *)
   ilp_rel_gap : float;
       (** relative optimality tolerance passed to the BLP solver; 0 proves
           optimality, small values (e.g. 0.002) cut solve time sharply *)
@@ -54,6 +149,15 @@ type config = {
           in segment order and the profile cache resolves each distinct
           kernel exactly once. CLI and bench entry points default to
           {!Parallel.Domain_pool.default_jobs} instead *)
+  fail_fast : bool;
+      (** raise {!Orchestration_failed} at the first per-segment failure
+          instead of walking the degradation ladder (the pre-ladder
+          behaviour). Stitch and final-verification failures always
+          raise — there is no sound plan to degrade to at that point *)
+  faults : (Faults.site * Faults.spec) list;
+      (** fault-injection policy installed (with [fault_seed]) for the
+          duration of the run; [[]] (default) leaves injection untouched *)
+  fault_seed : int;  (** seed for probabilistic fault rules *)
 }
 
 let default_config =
@@ -71,16 +175,21 @@ let default_config =
     allow_redundancy = true;
     check_invariants = true;
     jobs = 1;
+    fail_fast = false;
+    faults = [];
+    fault_seed = 1;
   }
 
 type segment_result = {
   seg : Partition.segment;
+  seg_index : int;
   transformed : Primgraph.t;
   candidates : Candidate.t array;
   id_stats : Kernel_identifier.stats;
   selected : int list;  (** scheduled order of candidate indices *)
   latency_us : float;
   cuts_added : int;
+  outcome : outcome;
 }
 
 type result = {
@@ -91,23 +200,185 @@ type result = {
   total_states : int;
   prim_nodes : int;  (** executable primitives after fission+transform *)
   tuning_time_s : float;  (** simulated profiling cost (Table 2) *)
+  degraded_segments : int list;
+      (** indices of segments that fell to [Greedy] or [Unfused] *)
+  time_limit_hits : int;  (** segments whose BLP CPU-time safety net bound *)
+  truncated_segments : int list;
+      (** indices of segments whose state enumeration was truncated *)
 }
 
-exception Orchestration_failed of string
-
-(* Raise [Orchestration_failed] with the full diagnostic summary if a
-   verification report contains errors. *)
-let enforce ~what (report : Verify.Diagnostics.report) =
+(* Raise a structured [Verify]-site error if a verification report
+   contains errors. *)
+let enforce ?segment ~what (report : Verify.Diagnostics.report) =
   if Verify.Diagnostics.has_errors report then
-    raise
-      (Orchestration_failed
-         (Printf.sprintf "%s failed verification: %s" what
-            (Verify.Diagnostics.error_summary report)))
+    orch_fail ?segment Error.Verify "%s failed verification: %s" what
+      (Verify.Diagnostics.error_summary report)
 
-(* Solve one segment: BLP + schedule with no-good cut loop. *)
-let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) (seg : Partition.segment) :
-    segment_result =
-  let transformed =
+(* ------------------------------------------------------------------ *)
+(* Ladder floor: singleton candidates for every executable primitive.  *)
+
+(* Ensure every non-source primitive has a full singleton candidate
+   ([outputs = [id]]), synthesizing the missing ones. The profiler can
+   reject or crash on a synthesized singleton too, so as a last resort the
+   cost model prices it as an opaque framework call — mirroring the
+   baselines' "the framework always has *some* kernel for one primitive".
+   Existing candidate indices are preserved (synthesized ones are
+   appended), so BLP/schedule results computed before the call stay valid.
+   Returns the extended array plus [singleton.(id)] = index of the
+   cheapest full singleton for primitive [id] (-1 on source nodes). *)
+let ensure_singletons (cfg : config) ~(cache : Gpu.Profile_cache.t) (g : Primgraph.t)
+    (candidates : Candidate.t array) : Candidate.t array * int array =
+  let n = Graph.length g in
+  let singleton = Array.make n (-1) in
+  let latency_of i = candidates.(i).Candidate.latency_us in
+  Array.iteri
+    (fun i (c : Candidate.t) ->
+      match Bitset.elements c.Candidate.members with
+      | [ id ] when c.Candidate.outputs = [ id ] ->
+        if singleton.(id) < 0 || latency_of i < latency_of singleton.(id) then
+          singleton.(id) <- i
+      | _ -> ())
+    candidates;
+  let extra = ref [] in
+  let next = ref (Array.length candidates) in
+  List.iter
+    (fun id ->
+      if singleton.(id) < 0 then begin
+        let members = Bitset.add (Bitset.empty n) id in
+        let outputs = [ id ] in
+        let fallback_price () =
+          ( Gpu.Cost_model.latency_us cfg.identifier.Kernel_identifier.profiler.Gpu.Profiler.cost
+              ~spec:cfg.spec ~precision:cfg.precision ~backend:Gpu.Cost_model.OpaqueExec g
+              members ~outputs,
+            Gpu.Cost_model.OpaqueExec )
+        in
+        let latency_us, backend =
+          match
+            Gpu.Profile_cache.profile cache cfg.identifier.Kernel_identifier.profiler
+              ~spec:cfg.spec ~precision:cfg.precision g members ~outputs
+          with
+          | Some r -> (r.Gpu.Profiler.latency_us, r.Gpu.Profiler.backend)
+          | None -> fallback_price ()
+          | exception Faults.Injected _ -> fallback_price ()
+        in
+        extra :=
+          Candidate.
+            {
+              members;
+              outputs;
+              ext_inputs = Graph.external_inputs g members;
+              latency_us;
+              backend;
+            }
+          :: !extra;
+        singleton.(id) <- !next;
+        incr next
+      end)
+    (Primgraph.non_source_nodes g);
+  (Array.append candidates (Array.of_list (List.rev !extra)), singleton)
+
+(* The unfused strategy: one kernel per primitive, in schedulable order.
+   Always feasible on a DAG — each singleton waits only on its graph
+   predecessors — so this is the ladder's guaranteed floor. *)
+let unfused_plan ?segment (g : Primgraph.t) (candidates : Candidate.t array)
+    (singleton : int array) : int list * float =
+  let selected = List.map (fun id -> singleton.(id)) (Primgraph.non_source_nodes g) in
+  match Scheduler.schedule g candidates ~selected with
+  | Ok order ->
+    (order, List.fold_left (fun a i -> a +. candidates.(i).Candidate.latency_us) 0.0 order)
+  | Error _ ->
+    (* Cannot happen on a DAG; if it does, the graph itself is broken. *)
+    orch_fail ?segment Error.Schedule "unfused plan unschedulable — segment graph is cyclic"
+
+(* Greedy fusion from the all-singletons start: repeatedly absorb the
+   multi-primitive candidate with the largest latency gain over its
+   members' singletons, provided all members are still singleton-owned,
+   every member needed outside the candidate is published by it, and the
+   resulting selection still schedules (disjoint convex kernels can
+   deadlock each other — a quotient-graph cycle — so each absorption is
+   re-checked and reverted if stuck). Deterministic: candidates are ranked
+   by (gain desc, index asc). *)
+let greedy_plan (g : Primgraph.t) (candidates : Candidate.t array) (singleton : int array) :
+    (int list * float) option =
+  let succs = Graph.succs g in
+  let owner = Array.make (Graph.length g) (-1) in
+  List.iter (fun id -> owner.(id) <- singleton.(id)) (Primgraph.non_source_nodes g);
+  let selection () =
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun i -> if i >= 0 && not (Hashtbl.mem seen i) then Hashtbl.replace seen i ())
+      owner;
+    List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) seen [])
+  in
+  let publishes_needed (c : Candidate.t) =
+    List.for_all
+      (fun id ->
+        let needed_outside =
+          List.mem id g.Graph.outputs
+          || List.exists (fun s -> not (Bitset.mem c.Candidate.members s)) succs.(id)
+        in
+        (not needed_outside) || List.mem id c.Candidate.outputs)
+      (Bitset.elements c.Candidate.members)
+  in
+  let gains = ref [] in
+  Array.iteri
+    (fun i (c : Candidate.t) ->
+      let members = Bitset.elements c.Candidate.members in
+      if List.length members > 1 && publishes_needed c then begin
+        let cover =
+          List.fold_left
+            (fun acc id ->
+              match acc with
+              | None -> None
+              | Some s ->
+                if singleton.(id) < 0 then None
+                else Some (s +. candidates.(singleton.(id)).Candidate.latency_us))
+            (Some 0.0) members
+        in
+        match cover with
+        | Some total when c.Candidate.latency_us < total ->
+          gains := (total -. c.Candidate.latency_us, i) :: !gains
+        | _ -> ()
+      end)
+    candidates;
+  let ranked =
+    List.sort (fun (g1, i1) (g2, i2) -> if g1 <> g2 then compare g2 g1 else compare i1 i2) !gains
+  in
+  List.iter
+    (fun (_gain, i) ->
+      let c = candidates.(i) in
+      let members = Bitset.elements c.Candidate.members in
+      if List.for_all (fun id -> owner.(id) = singleton.(id)) members then begin
+        let saved = List.map (fun id -> (id, owner.(id))) members in
+        List.iter (fun id -> owner.(id) <- i) members;
+        match Scheduler.schedule g candidates ~selected:(selection ()) with
+        | Ok _ -> ()
+        | Error _ -> List.iter (fun (id, o) -> owner.(id) <- o) saved
+      end)
+    ranked;
+  match Scheduler.schedule g candidates ~selected:(selection ()) with
+  | Ok order ->
+    Some (order, List.fold_left (fun a i -> a +. candidates.(i).Candidate.latency_us) 0.0 order)
+  | Error _ -> None
+
+(* ------------------------------------------------------------------ *)
+
+(* Solve one segment: BLP + schedule with no-good cut loop, walking the
+   degradation ladder on failure unless [fail_fast]. *)
+let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
+    (seg : Partition.segment) : segment_result =
+  let fallback_reason = ref None in
+  let note site fmt =
+    Printf.ksprintf
+      (fun detail ->
+        if cfg.fail_fast then
+          raise (Orchestration_failed { Error.segment = Some seg_index; site; detail })
+        else if !fallback_reason = None then
+          fallback_reason := Some (Printf.sprintf "%s: %s" (Error.site_to_string site) detail))
+      fmt
+  in
+  (* Transformation search, degrading to plain CSE then the raw segment. *)
+  let transform_attempt () =
     if cfg.use_transform then
       Transform.Optimizer.optimize
         ~config:
@@ -121,52 +392,129 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) (seg : Partition
         seg.Partition.local
     else Transform.Cse.run seg.Partition.local
   in
-  if cfg.check_invariants then
-    enforce ~what:"transformed segment" (Verify.graph_check transformed);
-  let candidates, id_stats =
-    Kernel_identifier.identify cfg.identifier ~spec:cfg.spec ~precision:cfg.precision ~cache
-      transformed
+  let transformed, transform_degraded =
+    match transform_attempt () with
+    | t ->
+      if cfg.check_invariants then begin
+        match enforce ~segment:seg_index ~what:"transformed segment" (Verify.graph_check t) with
+        | () -> (t, false)
+        | exception Orchestration_failed e when not cfg.fail_fast ->
+          (* A transformation produced a graph the analyses reject — fall
+             back to the untransformed segment rather than execute it. *)
+          if !fallback_reason = None then fallback_reason := Some (Error.to_string e);
+          (seg.Partition.local, true)
+      end
+      else (t, false)
+    | exception Faults.Injected { site; hit } ->
+      note Error.Transform "injected fault at %s (call %d)" (Faults.site_to_string site) hit;
+      (* CSE + constant folding is the search's own starting point: cheap,
+         deterministic, semantics-preserving — and folding matters, since
+         an unfolded segment can be exponentially wider to enumerate. If
+         even that fails the raw segment is used untouched. *)
+      (match Transform.Constfold.run (Transform.Cse.run seg.Partition.local) with
+      | t -> (t, true)
+      | exception _ -> (seg.Partition.local, true))
+    | exception ((Orchestration_failed _ | Stack_overflow | Out_of_memory) as e) -> raise e
+    | exception e ->
+      note Error.Transform "transformation search failed: %s" (Printexc.to_string e);
+      (match Transform.Constfold.run (Transform.Cse.run seg.Partition.local) with
+      | t -> (t, true)
+      | exception _ -> (seg.Partition.local, true))
   in
-  if Array.length candidates = 0 && Primgraph.non_source_nodes transformed <> [] then
-    raise (Orchestration_failed "no candidate kernels for segment");
+  (* Kernel identification. Per-candidate profiler failures are absorbed
+     inside [identify]; a failure here is the enumerator itself dying. *)
+  let candidates, id_stats =
+    match
+      Kernel_identifier.identify cfg.identifier ~spec:cfg.spec ~precision:cfg.precision ~cache
+        transformed
+    with
+    | r -> r
+    | exception Faults.Injected { site; hit } ->
+      note Error.Enumerate "injected fault at %s (call %d)" (Faults.site_to_string site) hit;
+      ([||], Kernel_identifier.empty_stats)
+    | exception Exec_state.Too_many_states n ->
+      note Error.Enumerate "state enumeration exceeded %d states" n;
+      ([||], Kernel_identifier.empty_stats)
+  in
+  (* Under [fail_fast], no identified candidates for a non-trivial segment
+     is fatal — the ladder would otherwise synthesize the unfused floor. *)
+  if cfg.fail_fast && Array.length candidates = 0
+     && Primgraph.non_source_nodes transformed <> []
+  then orch_fail ~segment:seg_index Error.Profile "no candidate kernels for segment";
+  (* Ladder floor material: every primitive gets a singleton candidate. *)
+  let candidates, singleton = ensure_singletons cfg ~cache transformed candidates in
   (* Warm start: the all-singletons strategy (one kernel per primitive,
      every output published) is always feasible and gives the solver a
      strong initial incumbent. *)
   let warm_start =
     let x = Array.make (Array.length candidates) 0 in
-    Array.iteri
-      (fun i (c : Candidate.t) ->
-        match Bitset.elements c.Candidate.members with
-        | [ id ] when c.Candidate.outputs = [ id ] -> x.(i) <- 1
-        | _ -> ())
-      candidates;
+    List.iter
+      (fun id -> if singleton.(id) >= 0 then x.(singleton.(id)) <- 1)
+      (Primgraph.non_source_nodes transformed);
     x
   in
+  (* BLP + no-good cut loop. Returns [Error reason] instead of raising so
+     the caller can step down the ladder. *)
   let rec solve_with_cuts cuts attempts =
-    if attempts > 20 then raise (Orchestration_failed "cut loop did not converge");
-    let problem =
-      Blp_formulation.build ~disjoint:(not cfg.allow_redundancy) transformed candidates
-        ~extra_cuts:cuts
-    in
-    match
-      Lp.Ilp.solve ~max_nodes:cfg.ilp_node_limit ~time_limit_s:cfg.ilp_time_limit_s
-        ~rel_gap:cfg.ilp_rel_gap
-        ~abs_gap:(cfg.ilp_abs_gap_launches *. cfg.spec.Gpu.Spec.launch_overhead_us)
-        ~lazy_dependencies:true ~warm_start problem
-    with
-    | None -> raise (Orchestration_failed "BLP solver timed out without incumbent")
-    | Some sol when sol.Lp.Ilp.status = Lp.Ilp.Infeasible ->
-      raise (Orchestration_failed "BLP infeasible")
-    | Some sol ->
-      let selected =
-        List.filter (fun i -> sol.Lp.Ilp.x.(i) = 1) (List.init (Array.length candidates) Fun.id)
+    if attempts > 20 then Stdlib.Error "cut loop did not converge after 20 attempts"
+    else begin
+      let problem =
+        Blp_formulation.build ~disjoint:(not cfg.allow_redundancy) transformed candidates
+          ~extra_cuts:cuts
       in
-      (match Scheduler.schedule transformed candidates ~selected with
-      | Ok order -> (order, sol.Lp.Ilp.objective, List.length cuts)
-      | Error stuck -> solve_with_cuts (stuck :: cuts) (attempts + 1))
+      match
+        Lp.Ilp.solve ~max_nodes:cfg.ilp_node_limit ~time_limit_s:cfg.ilp_time_limit_s
+          ~rel_gap:cfg.ilp_rel_gap
+          ~abs_gap:(cfg.ilp_abs_gap_launches *. cfg.spec.Gpu.Spec.launch_overhead_us)
+          ~lazy_dependencies:true ~warm_start problem
+      with
+      | None -> Stdlib.Error "BLP solver timed out without incumbent"
+      | Some sol when sol.Lp.Ilp.status = Lp.Ilp.Infeasible -> Stdlib.Error "BLP infeasible"
+      | Some sol -> begin
+        let selected =
+          List.filter (fun i -> sol.Lp.Ilp.x.(i) = 1) (List.init (Array.length candidates) Fun.id)
+        in
+        match Scheduler.schedule transformed candidates ~selected with
+        | Ok order ->
+          Stdlib.Ok
+            ( order,
+              sol.Lp.Ilp.objective,
+              List.length cuts,
+              sol.Lp.Ilp.time_limit_hit,
+              sol.Lp.Ilp.status = Lp.Ilp.Optimal )
+        | Error stuck -> solve_with_cuts (stuck :: cuts) (attempts + 1)
+      end
+      | exception Faults.Injected { site; hit } ->
+        Stdlib.Error
+          (Printf.sprintf "injected fault at %s (call %d)" (Faults.site_to_string site) hit)
+    end
   in
-  let selected, latency_us, cuts_added = solve_with_cuts [] 0 in
-  { seg; transformed; candidates; id_stats; selected; latency_us; cuts_added }
+  let selected, latency_us, cuts_added, tier, time_limit_hit =
+    if Primgraph.non_source_nodes transformed = [] then ([], 0.0, 0, Optimal, false)
+    else begin
+      match solve_with_cuts [] 0 with
+      | Ok (order, obj, cuts, time_hit, proven) ->
+        (order, obj, cuts, (if proven then Optimal else Incumbent), time_hit)
+      | Error reason ->
+        note Error.Solve "%s" reason;
+        (* Ladder: greedy fusion, then the unfused floor. *)
+        (match greedy_plan transformed candidates singleton with
+        | Some (order, obj) -> (order, obj, 0, Greedy, false)
+        | None ->
+          let order, obj = unfused_plan ~segment:seg_index transformed candidates singleton in
+          (order, obj, 0, Unfused, false))
+    end
+  in
+  let outcome =
+    {
+      tier;
+      retries = 0;
+      fallback_reason = !fallback_reason;
+      time_limit_hit;
+      transform_degraded;
+    }
+  in
+  { seg; seg_index; transformed; candidates; id_stats; selected; latency_us; cuts_added; outcome }
 
 (* Stitch per-segment transformed graphs back into one executable graph,
    translating each segment's plan kernels to stitched node ids. *)
@@ -192,9 +540,8 @@ let stitch (original : Primgraph.t) (results : segment_result list) :
                 match Hashtbl.find_opt interface gid with
                 | Some sid -> sid
                 | None ->
-                  raise
-                    (Orchestration_failed
-                       (Printf.sprintf "stitch: interface tensor %d not yet produced" gid))
+                  orch_fail ~segment:r.seg_index Error.Stitch
+                    "interface tensor %d not yet produced" gid
               end
               | None -> begin
                 match Hashtbl.find_opt input_by_name name with
@@ -237,9 +584,7 @@ let stitch (original : Primgraph.t) (results : segment_result list) :
       (fun o ->
         match Hashtbl.find_opt interface o with
         | Some sid -> sid
-        | None ->
-          raise
-            (Orchestration_failed (Printf.sprintf "stitch: graph output %d not produced" o)))
+        | None -> orch_fail Error.Stitch "graph output %d not produced" o)
       original.Graph.outputs
   in
   Primgraph.B.set_outputs b outputs;
@@ -247,38 +592,97 @@ let stitch (original : Primgraph.t) (results : segment_result list) :
 
 (** [run_primgraph cfg g] — orchestrate a primitive graph. *)
 let run_primgraph (cfg : config) (g : Primgraph.t) : result =
-  let cache = Gpu.Profile_cache.create () in
-  let segments = Partition.split g ~max_prims:cfg.partition_max_prims in
-  (* Segments are mutually independent (cross-segment tensors are Input
-     placeholders), so they can be solved on a domain pool. [map_list]
-     returns results in segment order and the profile cache is sharded
-     and locked, so the stitched plan is bit-identical to [jobs = 1]. *)
-  let jobs = min cfg.jobs (List.length segments) in
-  let results =
-    if jobs <= 1 then List.map (solve_segment cfg ~cache) segments
-    else
-      Parallel.Domain_pool.with_pool ~jobs (fun pool ->
-          Parallel.Domain_pool.map_list pool (solve_segment cfg ~cache) segments)
+  let body () =
+    let cache = Gpu.Profile_cache.create () in
+    let segments = Partition.split g ~max_prims:cfg.partition_max_prims in
+    let indexed = List.mapi (fun i s -> (i, s)) segments in
+    (* Segments are mutually independent (cross-segment tensors are Input
+       placeholders), so they can be solved on a domain pool. Results come
+       back in segment order and the profile cache is sharded and locked,
+       so the stitched plan is bit-identical to [jobs = 1]. *)
+    let jobs = min cfg.jobs (List.length segments) in
+    let results =
+      if jobs <= 1 then
+        List.map (fun (i, s) -> solve_segment cfg ~cache ~seg_index:i s) indexed
+      else
+        Parallel.Domain_pool.with_pool ~jobs (fun pool ->
+            Parallel.Domain_pool.map_result pool
+              (fun (i, s) -> solve_segment cfg ~cache ~seg_index:i s)
+              indexed)
+        |> List.map2
+             (fun (i, s) outcome ->
+               match outcome with
+               | Stdlib.Ok r -> r
+               | Stdlib.Error (e, bt) ->
+                 if cfg.fail_fast then Printexc.raise_with_backtrace e bt
+                 else begin
+                   (* The worker domain died mid-segment (injected fault or
+                      real crash): retry the whole segment sequentially on
+                      the main domain before degrading further. A failure
+                      of the retry itself is genuinely fatal. *)
+                   let r = solve_segment cfg ~cache ~seg_index:i s in
+                   let reason =
+                     Printf.sprintf "worker: retried on main domain after %s"
+                       (Printexc.to_string e)
+                   in
+                   {
+                     r with
+                     outcome =
+                       {
+                         r.outcome with
+                         retries = r.outcome.retries + 1;
+                         fallback_reason =
+                           (match r.outcome.fallback_reason with
+                           | Some existing -> Some (reason ^ "; " ^ existing)
+                           | None -> Some reason);
+                       };
+                   }
+                 end)
+             indexed
+    in
+    let graph, kernels = stitch g results in
+    let plan = Runtime.Plan.make kernels in
+    let degraded_segments =
+      List.filter_map
+        (fun r -> if tier_is_degraded r.outcome.tier then Some r.seg_index else None)
+        results
+    in
+    let degraded_info =
+      List.filter_map
+        (fun r ->
+          if tier_is_degraded r.outcome.tier then
+            Some (r.seg_index, tier_to_string r.outcome.tier)
+          else None)
+        results
+    in
+    if cfg.check_invariants then begin
+      enforce ~what:"stitched graph" (Verify.graph_check graph);
+      enforce ~what:"stitched plan" (Verify.plan_check ~degraded:degraded_info graph plan)
+    end;
+    {
+      graph;
+      plan;
+      segments = results;
+      total_candidates = List.fold_left (fun a r -> a + Array.length r.candidates) 0 results;
+      total_states =
+        List.fold_left (fun a r -> a + r.id_stats.Kernel_identifier.states) 0 results;
+      prim_nodes =
+        List.fold_left
+          (fun a r -> a + List.length (Primgraph.non_source_nodes r.transformed))
+          0 results;
+      tuning_time_s = Gpu.Profile_cache.tuning_time_s cache;
+      degraded_segments;
+      time_limit_hits =
+        List.length (List.filter (fun r -> r.outcome.time_limit_hit) results);
+      truncated_segments =
+        List.filter_map
+          (fun r ->
+            if r.id_stats.Kernel_identifier.states_truncated then Some r.seg_index else None)
+          results;
+    }
   in
-  let graph, kernels = stitch g results in
-  let plan = Runtime.Plan.make kernels in
-  if cfg.check_invariants then begin
-    enforce ~what:"stitched graph" (Verify.graph_check graph);
-    enforce ~what:"stitched plan" (Verify.plan_check graph plan)
-  end;
-  {
-    graph;
-    plan;
-    segments = results;
-    total_candidates =
-      List.fold_left (fun a r -> a + Array.length r.candidates) 0 results;
-    total_states = List.fold_left (fun a r -> a + r.id_stats.Kernel_identifier.states) 0 results;
-    prim_nodes =
-      List.fold_left
-        (fun a r -> a + List.length (Primgraph.non_source_nodes r.transformed))
-        0 results;
-    tuning_time_s = Gpu.Profile_cache.tuning_time_s cache;
-  }
+  if cfg.faults = [] then body ()
+  else Faults.with_policy ~seed:cfg.fault_seed cfg.faults body
 
 (** [run cfg g] — orchestrate an operator-level computation graph: apply
     operator fission, then {!run_primgraph}. *)

@@ -6,9 +6,80 @@
 
     If a BLP optimum cannot be scheduled (mutually dependent kernels), a
     no-good cut is added and the BLP re-solved — a small cutting-plane
-    loop around the solver. *)
+    loop around the solver.
+
+    Robustness contract: {e no single segment may kill an orchestration}.
+    Each segment walks a degradation ladder — {!tier-Optimal} →
+    {!tier-Incumbent} → {!tier-Greedy} → {!tier-Unfused} — so a profiler
+    crash, solver blow-up or worker-domain death degrades that one
+    segment instead of aborting the run. The unfused floor (one kernel
+    per primitive) is always constructible and always schedulable.
+    [fail_fast] restores the old raise-at-first-failure behaviour. *)
 
 open Ir
+
+(** Structured orchestration errors: which segment, which pipeline stage,
+    what happened. *)
+module Error : sig
+  type site =
+    | Transform  (** transformation search on a segment *)
+    | Enumerate  (** execution-state enumeration / kernel identification *)
+    | Profile  (** candidate profiling *)
+    | Solve  (** BLP solve or cut loop *)
+    | Schedule  (** sequencing selected kernels *)
+    | Worker  (** a worker domain died solving a segment *)
+    | Stitch  (** re-assembling per-segment graphs *)
+    | Verify  (** a static-analysis boundary check *)
+
+  val site_to_string : site -> string
+
+  type t = {
+    segment : int option;  (** segment index, when the failure is local *)
+    site : site;
+    detail : string;
+  }
+
+  val to_string : t -> string
+end
+
+exception Orchestration_failed of Error.t
+
+(** Degradation-ladder tier a segment's final plan came from. *)
+type tier =
+  | Optimal  (** BLP solved to proven optimality (up to the gaps) *)
+  | Incumbent
+      (** BLP node budget hit; best incumbent used — routine, not
+          degraded (the budget exists precisely to stop here) *)
+  | Greedy
+      (** BLP unusable (no incumbent, infeasible, divergent cut loop, or
+          injected fault); greedy fusion from the all-singletons start *)
+  | Unfused  (** ladder floor: one kernel per primitive *)
+
+val tier_to_string : tier -> string
+
+(** Ladder position; lower is better ([Optimal] = 0 … [Unfused] = 3). *)
+val tier_rank : tier -> int
+
+(** [Greedy] and [Unfused] count as degraded; [Incumbent] does not. *)
+val tier_is_degraded : tier -> bool
+
+(** How one segment fared on the ladder. *)
+type outcome = {
+  tier : tier;
+  retries : int;  (** worker-domain failures retried on the main domain *)
+  fallback_reason : string option;
+      (** first failure that pushed the segment down the ladder *)
+  time_limit_hit : bool;
+      (** the BLP CPU-time safety net bound — the plan may not reproduce
+          across [jobs] values (see [ilp_time_limit_s]) *)
+  transform_degraded : bool;
+      (** transformation search failed; plain CSE (or the raw segment)
+          was used instead *)
+}
+
+(** The outcome of an untroubled segment: [Optimal], no retries, no
+    fallback. Convenient for tests. *)
+val ok_outcome : outcome
 
 type config = {
   spec : Gpu.Spec.t;  (** target GPU datasheet *)
@@ -26,7 +97,9 @@ type config = {
       (** safety net only (default 300 s of CPU time): caps one BLP solve
           so a pathological segment cannot hang the pipeline. If it ever
           binds, plans may stop being reproducible across [jobs] values —
-          CPU time advances faster when several domains run concurrently *)
+          CPU time advances faster when several domains run concurrently.
+          Binding is surfaced via [outcome.time_limit_hit] and counted in
+          [result.time_limit_hits] so the CLI can warn *)
   ilp_rel_gap : float;
       (** relative optimality tolerance; 0 proves optimality, small values
           (default 0.002) cut solve time sharply *)
@@ -40,7 +113,10 @@ type config = {
       (** run the {!Verify} static analyses at every pipeline boundary
           (fissioned graph, each transformed segment, stitched graph and
           plan); violations raise {!Orchestration_failed} with the full
-          diagnostic report. On by default *)
+          diagnostic report. On by default. Under the graceful ladder a
+          transformed segment that fails verification falls back to the
+          untransformed segment; only stitched-graph/plan violations are
+          fatal *)
   jobs : int;
       (** worker domains solving independent partition segments
           concurrently. The default is [1] (sequential, no domains
@@ -54,6 +130,20 @@ type config = {
           how many domains share the machine. (Caveat: the
           [ilp_time_limit_s] safety net, if it ever binds, reintroduces
           timing sensitivity.) *)
+  fail_fast : bool;
+      (** raise {!Orchestration_failed} at the first per-segment failure
+          instead of walking the degradation ladder (the pre-ladder
+          behaviour). Off by default. Stitch and final-verification
+          failures always raise — there is no sound plan to degrade to
+          at that point *)
+  faults : (Faults.site * Faults.spec) list;
+      (** fault-injection policy installed (with [fault_seed]) for the
+          duration of the run via {!Faults.with_policy}; [[]] (default)
+          leaves whatever policy is already installed untouched *)
+  fault_seed : int;
+      (** seed for probabilistic fault rules (default 1). The same seed
+          and policy reproduce the same injections — and therefore the
+          same degraded plan — on every run *)
 }
 
 val default_config : config
@@ -62,12 +152,16 @@ val default_config : config
     {!type-result}). *)
 type segment_result = {
   seg : Partition.segment;
+  seg_index : int;  (** position in partition order *)
   transformed : Primgraph.t;  (** segment graph after transformations *)
   candidates : Candidate.t array;
+      (** identified candidates, extended with synthesized singleton
+          candidates so the unfused floor is always available *)
   id_stats : Kernel_identifier.stats;
   selected : int list;  (** scheduled order of candidate indices *)
-  latency_us : float;  (** BLP objective for this segment *)
+  latency_us : float;  (** modelled latency of the selected strategy *)
   cuts_added : int;  (** no-good cuts needed before a schedulable optimum *)
+  outcome : outcome;  (** where on the degradation ladder this segment landed *)
 }
 
 type result = {
@@ -78,18 +172,28 @@ type result = {
   total_states : int;
   prim_nodes : int;  (** executable primitives after fission+transform *)
   tuning_time_s : float;  (** simulated profiling cost (Table 2) *)
+  degraded_segments : int list;
+      (** indices of segments that fell to [Greedy] or [Unfused] *)
+  time_limit_hits : int;
+      (** segments whose BLP CPU-time safety net bound — nonzero means
+          the plan may not reproduce across [jobs] values *)
+  truncated_segments : int list;
+      (** indices of segments whose state enumeration was truncated at
+          [max_states]: their candidate sets are valid but incomplete *)
 }
 
-exception Orchestration_failed of string
-
-(** [solve_segment cfg ~cache seg] — transform, identify, profile and
-    solve one partition segment. Exposed for diagnostics and benches. *)
+(** [solve_segment cfg ~cache ?seg_index seg] — transform, identify,
+    profile and solve one partition segment, walking the degradation
+    ladder on failure (or raising under [fail_fast]). Exposed for
+    diagnostics and benches. *)
 val solve_segment :
-  config -> cache:Gpu.Profile_cache.t -> Partition.segment -> segment_result
+  config -> cache:Gpu.Profile_cache.t -> ?seg_index:int -> Partition.segment -> segment_result
 
 (** [run_primgraph cfg g] — orchestrate a primitive graph. The returned
     plan executes against [result.graph] (not [g]: transformations may
-    have rewritten it) via {!Runtime.Executor.run}. *)
+    have rewritten it) via {!Runtime.Executor.run}. Installs the
+    [cfg.faults] injection policy for the duration of the call when it is
+    non-empty. *)
 val run_primgraph : config -> Primgraph.t -> result
 
 (** [run cfg g] — apply operator fission to a computation graph, then

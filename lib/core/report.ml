@@ -12,6 +12,58 @@ let pp_result ppf (r : Orchestrator.result) =
     (Runtime.Plan.redundancy r.Orchestrator.plan);
   Format.fprintf ppf "  est. latency    : %.2f us@."
     r.Orchestrator.plan.Runtime.Plan.total_latency_us;
-  Format.fprintf ppf "  sim. tuning time: %.1f s@." r.Orchestrator.tuning_time_s
+  Format.fprintf ppf "  sim. tuning time: %.1f s@." r.Orchestrator.tuning_time_s;
+  (* Degradation-ladder summary: how many segments landed on each tier. *)
+  let count t =
+    List.length
+      (List.filter (fun s -> s.Orchestrator.outcome.Orchestrator.tier = t) r.Orchestrator.segments)
+  in
+  let optimal = count Orchestrator.Optimal
+  and incumbent = count Orchestrator.Incumbent
+  and greedy = count Orchestrator.Greedy
+  and unfused = count Orchestrator.Unfused in
+  Format.fprintf ppf "  segment tiers   : %d optimal, %d incumbent, %d greedy, %d unfused@."
+    optimal incumbent greedy unfused;
+  if r.Orchestrator.degraded_segments <> [] then
+    Format.fprintf ppf "  DEGRADED        : segment%s %s fell back below the BLP@."
+      (if List.length r.Orchestrator.degraded_segments > 1 then "s" else "")
+      (String.concat ", " (List.map string_of_int r.Orchestrator.degraded_segments));
+  if r.Orchestrator.truncated_segments <> [] then
+    Format.fprintf ppf
+      "  TRUNCATED       : segment%s %s stopped state enumeration at the bound@."
+      (if List.length r.Orchestrator.truncated_segments > 1 then "s" else "")
+      (String.concat ", " (List.map string_of_int r.Orchestrator.truncated_segments));
+  if r.Orchestrator.time_limit_hits > 0 then
+    Format.fprintf ppf
+      "  WARNING         : %d segment(s) hit the BLP CPU-time safety net — the plan may not \
+       reproduce across --jobs values@."
+      r.Orchestrator.time_limit_hits
+
+(** Per-segment outcome table: one line per segment with its ladder tier,
+    retries, and the failure that pushed it down (if any). *)
+let pp_segments ppf (r : Orchestrator.result) =
+  Format.fprintf ppf "  seg  tier       kernels  retries  notes@.";
+  List.iter
+    (fun (s : Orchestrator.segment_result) ->
+      let o = s.Orchestrator.outcome in
+      let notes =
+        List.filter_map Fun.id
+          [
+            o.Orchestrator.fallback_reason;
+            (if o.Orchestrator.transform_degraded then Some "transform degraded" else None);
+            (if o.Orchestrator.time_limit_hit then Some "time limit hit" else None);
+            (if s.Orchestrator.id_stats.Kernel_identifier.states_truncated then
+               Some "states truncated"
+             else None);
+          ]
+      in
+      Format.fprintf ppf "  %3d  %-9s  %7d  %7d  %s@." s.Orchestrator.seg_index
+        (Orchestrator.tier_to_string o.Orchestrator.tier)
+        (List.length s.Orchestrator.selected)
+        o.Orchestrator.retries
+        (match notes with [] -> "-" | l -> String.concat "; " l))
+    r.Orchestrator.segments
 
 let summary (r : Orchestrator.result) : string = Format.asprintf "%a" pp_result r
+
+let segment_table (r : Orchestrator.result) : string = Format.asprintf "%a" pp_segments r

@@ -1,8 +1,19 @@
 (** Human-readable orchestration reports. *)
 
 (** [pp_result ppf r] prints node/state/candidate counts, selected kernel
-    count, redundancy, estimated latency and simulated tuning time. *)
+    count, redundancy, estimated latency and simulated tuning time,
+    followed by the degradation-ladder summary: segments per tier, any
+    degraded or enumeration-truncated segments, and a determinism warning
+    when the BLP CPU-time safety net bound. *)
 val pp_result : Format.formatter -> Orchestrator.result -> unit
+
+(** [pp_segments ppf r] prints the per-segment outcome table: index,
+    ladder tier, selected kernel count, worker retries and fallback
+    notes. *)
+val pp_segments : Format.formatter -> Orchestrator.result -> unit
 
 (** [summary r] is [pp_result] rendered to a string. *)
 val summary : Orchestrator.result -> string
+
+(** [segment_table r] is [pp_segments] rendered to a string. *)
+val segment_table : Orchestrator.result -> string

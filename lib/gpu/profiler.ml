@@ -77,6 +77,9 @@ let simulated_tuning_time ~(backend : Cost_model.backend_kind) (sig_ : string)
     paper's "Profiling returns infinity"). *)
 let profile (cfg : config) ~(spec : Spec.t) ~(precision : Precision.t) (g : Primgraph.t)
     (members : Bitset.t) ~(outputs : int list) : result option =
+  (* A real measurement can crash or hang the tuner; the injection site
+     lets tests force exactly that for any chosen candidate. *)
+  Faults.check Faults.Profiler;
   let s = Stats.kernel_stats g members ~outputs in
   if s.Stats.n_prims = 0 then None
   else

@@ -43,7 +43,10 @@ val signature :
   string
 
 (** [profile cfg ~spec ~precision g members ~outputs] — generate-and-
-    profile one candidate kernel; [None] means rejected. *)
+    profile one candidate kernel; [None] means rejected. Carries the
+    {!Faults.site-Profiler} injection site: an installed policy can make
+    any call raise {!Faults.Injected} (callers treat that like a failed
+    measurement and reject the candidate). *)
 val profile :
   config ->
   spec:Spec.t ->

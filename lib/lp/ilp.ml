@@ -14,7 +14,13 @@ type problem = {
 
 type status = Optimal | TimeLimit | Infeasible
 
-type solution = { x : int array; objective : float; status : status; nodes_explored : int }
+type solution = {
+  x : int array;
+  objective : float;
+  status : status;
+  nodes_explored : int;
+  time_limit_hit : bool;
+}
 
 let integrality_eps = 1e-6
 
@@ -96,6 +102,7 @@ let objective_of (p : problem) (x : int array) : float =
 let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_gap = 0.0)
     ?(lazy_dependencies = false) ?(warm_start : int array option) (p : problem) :
     solution option =
+  Faults.check Faults.Ilp_solve;
   let n = Array.length p.minimize in
   let start = Sys.time () in
   let incumbent = ref None in
@@ -166,12 +173,19 @@ let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_g
   in
   let nodes = ref 0 in
   let timed_out = ref false in
+  (* Distinguish the two budgets: the node limit is the deterministic one,
+     the CPU-time limit a safety net whose binding callers want to know
+     about (it reintroduces timing sensitivity). *)
+  let time_hit = ref false in
   (* DFS stack of fixing vectors. *)
   let stack = Stack.create () in
   Stack.push (Array.make n (-1)) stack;
   while (not (Stack.is_empty stack)) && not !timed_out do
-    if Sys.time () -. start > time_limit_s || !nodes > max_nodes then
-      timed_out := true
+    if Sys.time () -. start > time_limit_s then begin
+      timed_out := true;
+      time_hit := true
+    end
+    else if !nodes > max_nodes then timed_out := true
     else begin
       let fixed = Stack.pop stack in
       incr nodes;
@@ -255,7 +269,12 @@ let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_g
     end
   done;
   match !incumbent with
-  | None -> if !timed_out then None else Some { x = [||]; objective = 0.0; status = Infeasible; nodes_explored = !nodes }
+  | None ->
+    if !timed_out then None
+    else
+      Some
+        { x = [||]; objective = 0.0; status = Infeasible; nodes_explored = !nodes;
+          time_limit_hit = !time_hit }
   | Some x ->
     Some
       {
@@ -263,4 +282,5 @@ let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_g
         objective = !incumbent_obj;
         status = (if !timed_out then TimeLimit else Optimal);
         nodes_explored = !nodes;
+        time_limit_hit = !time_hit;
       }

@@ -31,6 +31,11 @@ type solution = {
   objective : float;
   status : status;
   nodes_explored : int;
+  time_limit_hit : bool;
+      (** the {e CPU-time} safety net (not the node budget) ended the
+          search. CPU time is jobs-dependent, so a binding time limit
+          means the result may not reproduce across worker counts —
+          callers should surface it *)
 }
 
 (** [is_feasible_binary p x] checks every row of [p] against the 0/1
@@ -58,7 +63,10 @@ val objective_of : problem -> int array -> float
            (silently ignored when infeasible or of the wrong width)
 
     Returns [None] only when the budget expires before {e any} incumbent
-    or infeasibility proof is found. *)
+    or infeasibility proof is found.
+
+    Carries the {!Faults.site-Ilp_solve} fault-injection site: an
+    installed policy can make this call raise {!Faults.Injected}. *)
 val solve :
   ?time_limit_s:float ->
   ?max_nodes:int ->

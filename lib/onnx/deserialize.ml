@@ -175,21 +175,70 @@ let to_graph (to_op : Json.t -> 'op) (j : Json.t) ~(expect_kind : string) : 'op 
   | Some (Json.Str k) -> fail "expected %s graph, got %s" expect_kind k
   | _ -> fail "missing graph kind");
   let b = Graph.Builder.create () in
-  List.iter
-    (fun node_j ->
-      let op = to_op (get node_j "op") in
-      let inputs = List.map Json.to_int_exn (Json.to_list_exn (get node_j "inputs")) in
-      let shape = to_shape (get node_j "shape") in
-      ignore (Graph.Builder.add b op inputs shape))
+  let n = ref 0 in
+  List.iteri
+    (fun i node_j ->
+      (* Decode the node's fields with the node index attached, so a bad
+         document names the offending node instead of dying on a generic
+         conversion error deep inside a field parser. *)
+      let op, inputs, shape =
+        try
+          let op = to_op (get node_j "op") in
+          let inputs = List.map Json.to_int_exn (Json.to_list_exn (get node_j "inputs")) in
+          let shape = to_shape (get node_j "shape") in
+          (op, inputs, shape)
+        with
+        | Format_error m -> fail "node %d: %s" i m
+        | Failure m | Invalid_argument m -> fail "node %d: malformed field (%s)" i m
+      in
+      (* Structural checks the field parsers cannot see: edges must point
+         at already-declared nodes, and shapes must be positive. *)
+      List.iter
+        (fun src ->
+          if src < 0 || src >= i then
+            fail "node %d: input edge references node %d (valid range 0..%d)" i src (i - 1))
+        inputs;
+      Array.iteri
+        (fun d dim ->
+          if dim < 1 then fail "node %d: shape dimension %d is %d (must be >= 1)" i d dim)
+        shape;
+      ignore (Graph.Builder.add b op inputs shape);
+      incr n)
     (Json.to_list_exn (get j "nodes"));
-  Graph.Builder.set_outputs b
-    (List.map Json.to_int_exn (Json.to_list_exn (get j "outputs")));
+  let outputs =
+    try List.map Json.to_int_exn (Json.to_list_exn (get j "outputs"))
+    with Failure m | Invalid_argument m -> fail "outputs: malformed field (%s)" m
+  in
+  List.iter
+    (fun o ->
+      if o < 0 || o >= !n then
+        fail "outputs: id %d out of range (graph has %d nodes)" o !n)
+    outputs;
+  Graph.Builder.set_outputs b outputs;
   Graph.Builder.finish b
+
+(* Entry-point wrapper: every malformed document — including one whose
+   JSON text is truncated mid-value — becomes a [Format_error] naming the
+   problem, never a bare [Failure]/[Invalid_argument] escaping from a
+   field conversion. Carries the {!Faults.site-Onnx_parse} injection
+   site. *)
+let parse_doc (f : Json.t -> 'g) (s : string) : 'g =
+  (try Faults.check Faults.Onnx_parse
+   with Faults.Injected { site; hit } ->
+     fail "injected fault at %s (call %d)" (Faults.site_to_string site) hit);
+  let j =
+    try Json.of_string s
+    with Json.Parse_error (msg, pos) ->
+      if pos >= String.length s then
+        fail "malformed JSON at byte %d: %s (document truncated?)" pos msg
+      else fail "malformed JSON at byte %d: %s" pos msg
+  in
+  try f j with Failure m | Invalid_argument m -> fail "malformed field (%s)" m
 
 (** [opgraph_of_string s] — parse an operator graph document. *)
 let opgraph_of_string (s : string) : Opgraph.t =
-  to_graph to_optype (Json.of_string s) ~expect_kind:"operator"
+  parse_doc (to_graph to_optype ~expect_kind:"operator") s
 
 (** [primgraph_of_string s] — parse a primitive graph document. *)
 let primgraph_of_string (s : string) : Primgraph.t =
-  to_graph to_primitive (Json.of_string s) ~expect_kind:"primitive"
+  parse_doc (to_graph to_primitive ~expect_kind:"primitive") s

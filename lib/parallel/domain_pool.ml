@@ -144,7 +144,16 @@ let shutdown (pool : t) =
 let submit (pool : t) (f : unit -> 'a) : 'a future =
   let fut = make_future () in
   let run () =
-    let st = try Resolved (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ()) in
+    let st =
+      try
+        (* The [worker] fault site fires only on real pool workers — an
+           inline (sequential) execution is not a worker-domain failure,
+           which is what lets callers retry a failed task on the main
+           domain without re-injecting the same fault. *)
+        if Domain.DLS.get ctx_key <> None then Faults.check Faults.Worker;
+        Resolved (f ())
+      with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
     resolve fut st
   in
   if pool.jobs <= 1 then run ()
@@ -171,6 +180,20 @@ let map_array (pool : t) (f : 'a -> 'b) (arr : 'a array) : 'b array =
 
 let map_list (pool : t) (f : 'a -> 'b) (l : 'a list) : 'b list =
   Array.to_list (map_array pool f (Array.of_list l))
+
+(** [map_result pool f l] — like {!map_list} but captures each task's
+    failure in its slot instead of re-raising the first one, so a caller
+    can degrade or retry per element (the orchestrator retries failed
+    segments sequentially on the main domain). Order preserved. *)
+let map_result (pool : t) (f : 'a -> 'b) (l : 'a list) :
+    ('b, exn * Printexc.raw_backtrace) result list =
+  let capture g x = try Ok (g x) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+  let arr = Array.of_list l in
+  if pool.jobs <= 1 || Array.length arr <= 1 then Array.to_list (Array.map (capture f) arr)
+  else begin
+    let futures = Array.map (fun x -> submit pool (fun () -> f x)) arr in
+    Array.to_list (Array.map (capture await) futures)
+  end
 
 let with_pool ?seed ~jobs (f : t -> 'a) : 'a =
   let pool = create ?seed ~jobs () in

@@ -42,6 +42,17 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** List version of {!map_array}. *)
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [map_result pool f l] — like {!map_list} but each task's exception is
+    captured in its own slot (with backtrace) instead of the lowest-index
+    one being re-raised, so callers can retry or degrade per element.
+    Results stay in input order.
+
+    Tasks executing on real pool workers pass the {!Faults.site-Worker}
+    injection site first; inline execution (sequential pool) does not, so
+    a retry on the calling domain is not re-injected. *)
+val map_result :
+  t -> ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
+
 (** [shutdown pool] drains the queue (all submitted tasks complete) and
     joins the workers. Idempotent. *)
 val shutdown : t -> unit

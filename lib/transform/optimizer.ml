@@ -79,6 +79,10 @@ end)
     Returns the best graph found (possibly [g] itself). CSE and constant
     folding run on every candidate. *)
 let optimize ?(config = default_config) (g : Primgraph.t) : Primgraph.t =
+  (* A transformation search can blow up on an adversarial graph; the
+     injection site lets tests force that and exercise the orchestrator's
+     fallback to plain CSE. *)
+  Faults.check Faults.Transform;
   let clean g = Constfold.run (Cse.run g) in
   let g0 = clean g in
   let seen = Hashtbl.create 64 in

@@ -41,9 +41,16 @@ let compute_stats (p : Runtime.Plan.t) : stats =
       List.fold_left (fun a k -> a + List.length k.Runtime.Plan.outputs) 0 p.Runtime.Plan.kernels;
   }
 
-(** [check g p] — validate plan [p] against primitive graph [g]; returns
-    all findings, never raises. *)
-let check (g : Primgraph.t) (p : Runtime.Plan.t) : Diagnostics.report =
+(** [check ?degraded g p] — validate plan [p] against primitive graph [g];
+    returns all findings, never raises. [degraded] lists
+    [(segment index, ladder tier)] pairs for segments whose plan came from
+    a fallback strategy (see {!Orchestrator}); each is reported as an info
+    finding so degraded runs are visible in every verification report, not
+    only in the orchestrator's own summary. The structural checks are
+    identical either way — a degraded plan must satisfy exactly the same
+    invariants as an optimal one. *)
+let check ?(degraded : (int * string) list = []) (g : Primgraph.t) (p : Runtime.Plan.t) :
+    Diagnostics.report =
   let n = Graph.length g in
   let diags = ref [] in
   let emit d = diags := d :: !diags in
@@ -140,4 +147,11 @@ let check (g : Primgraph.t) (p : Runtime.Plan.t) : Diagnostics.report =
     (Diagnostics.info ~pass ~loc:Whole
        "%d kernels, %d primitive executions (%d distinct, %d redundant), %d tensors published"
        s.kernels s.executed s.distinct s.redundancy s.published);
+  List.iter
+    (fun (seg, tier) ->
+      emit
+        (Diagnostics.info ~pass ~loc:Whole
+           "segment %d plan is degraded (tier: %s); structural invariants verified as usual" seg
+           tier))
+    degraded;
   List.rev !diags

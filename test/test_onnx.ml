@@ -119,6 +119,67 @@ let test_garbage_rejected () =
   | _ -> Alcotest.fail "expected format error"
   | exception Onnx.Deserialize.Format_error _ -> ()
 
+(* ------------- malformed-document hardening ------------- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* Expect a [Format_error] whose message names the offending node/field. *)
+let expect_format_error ~doc ~needles label =
+  match Onnx.Deserialize.opgraph_of_string doc with
+  | _ -> Alcotest.failf "%s: expected Format_error" label
+  | exception Onnx.Deserialize.Format_error m ->
+    List.iter
+      (fun needle ->
+        if not (contains ~needle m) then
+          Alcotest.failf "%s: error %S does not mention %S" label m needle)
+      needles
+
+let valid_doc_with ~op_kind ~inputs ~shape =
+  Printf.sprintf
+    {|{"format":"korch-onnx-json","kind":"operator","nodes":[
+       {"op":{"kind":"Input","name":"x"},"inputs":[],"shape":[1,4]},
+       {"op":%s,"inputs":%s,"shape":%s}],
+       "outputs":[1]}|}
+    op_kind inputs shape
+
+let test_truncated_json () =
+  let g = Models.Registry.candy.Models.Registry.build_small () in
+  let s = Onnx.Serialize.opgraph_to_string g in
+  let doc = String.sub s 0 (String.length s / 2) in
+  expect_format_error ~doc ~needles:[ "malformed JSON at byte" ] "truncated";
+  (* Truncation that ends exactly at end-of-input also mentions the hint. *)
+  expect_format_error ~doc:{|{"format":"korch-onnx-json","kind":|}
+    ~needles:[ "malformed JSON at byte"; "truncated" ] "eof"
+
+let test_unknown_op () =
+  expect_format_error
+    ~doc:(valid_doc_with ~op_kind:{|{"kind":"Frobnicate"}|} ~inputs:"[0]" ~shape:"[1,4]")
+    ~needles:[ "node 1"; "Frobnicate" ] "unknown op"
+
+let test_bad_shape () =
+  expect_format_error
+    ~doc:(valid_doc_with ~op_kind:{|{"kind":"Relu"}|} ~inputs:"[0]" ~shape:"[1,0]")
+    ~needles:[ "node 1"; "dimension" ] "bad shape"
+
+let test_dangling_edge () =
+  expect_format_error
+    ~doc:(valid_doc_with ~op_kind:{|{"kind":"Relu"}|} ~inputs:"[5]" ~shape:"[1,4]")
+    ~needles:[ "node 1"; "5" ] "dangling edge";
+  (* A forward reference (self-edge) is just as dangling. *)
+  expect_format_error
+    ~doc:(valid_doc_with ~op_kind:{|{"kind":"Relu"}|} ~inputs:"[1]" ~shape:"[1,4]")
+    ~needles:[ "node 1" ] "self edge";
+  (* Out-of-range graph outputs are caught too. *)
+  expect_format_error
+    ~doc:
+      {|{"format":"korch-onnx-json","kind":"operator","nodes":[
+         {"op":{"kind":"Input","name":"x"},"inputs":[],"shape":[1,4]}],
+         "outputs":[3]}|}
+    ~needles:[ "outputs"; "3" ] "output range"
+
 let test_const_payload_roundtrip () =
   let open Tensor in
   let b = Graph.Builder.create () in
@@ -145,5 +206,9 @@ let () =
           Alcotest.test_case "semantics" `Quick test_roundtrip_preserves_semantics;
           Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch_rejected;
           Alcotest.test_case "garbage" `Quick test_garbage_rejected;
+          Alcotest.test_case "truncated JSON" `Quick test_truncated_json;
+          Alcotest.test_case "unknown op" `Quick test_unknown_op;
+          Alcotest.test_case "bad shape" `Quick test_bad_shape;
+          Alcotest.test_case "dangling edge" `Quick test_dangling_edge;
           Alcotest.test_case "const payload" `Quick test_const_payload_roundtrip ] );
     ]

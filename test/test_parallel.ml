@@ -196,13 +196,15 @@ let check_jobs_determinism (e : Models.Registry.entry) () =
 
 let test_failure_propagates_from_workers () =
   (* An impossible profiler budget rejects every candidate of a pure-TVM
-     chain, so each of the three segments fails; with 4 workers the
-     orchestrator must surface Orchestration_failed from the pool, not
-     hang or crash a domain. *)
+     chain, so each of the three segments fails; with 4 workers and
+     [fail_fast] the orchestrator must surface Orchestration_failed from
+     the pool, not hang or crash a domain. (Without [fail_fast] the
+     degradation ladder absorbs the failure — covered by test_faults.) *)
   let g, _ = ew_chain 30 4096 in
   let cfg =
     { Korch.Orchestrator.default_config with
       jobs = 4;
+      fail_fast = true;
       identifier =
         { Korch.Kernel_identifier.default_config with
           Korch.Kernel_identifier.profiler =
