@@ -32,7 +32,42 @@ let run_korch ?partition_max_prims ?jobs platform (g : Ir.Opgraph.t) :
 
 (* Monotonic wall-clock seconds ([Sys.time] is CPU time, which counts all
    domains and so overstates parallel runs). *)
-let wall_clock () = Unix.gettimeofday ()
+let wall_clock () = Obs.Clock.now_s ()
+
+(* ----------------------- bench-JSON accumulator ----------------------- *)
+
+(* Experiments append one entry per orchestrated (model, platform) pair;
+   `--bench-json FILE` writes the korch-bench/1 document bin/bench_gate.exe
+   regresses against its committed baseline. *)
+let bench_entries : Obs.Jsonw.t list ref = ref []
+
+let record_entry ~experiment ~model ((spec, precision) : Gpu.Spec.t * Gpu.Precision.t)
+    (r : Korch.Orchestrator.result) ~wall_s =
+  bench_entries :=
+    Obs.Jsonw.Obj
+      [
+        ("experiment", Obs.Jsonw.Str experiment);
+        ("model", Obs.Jsonw.Str model);
+        ("gpu", Obs.Jsonw.Str spec.Gpu.Spec.name);
+        ("precision", Obs.Jsonw.Str (Gpu.Precision.to_string precision));
+        ("latency_us", Obs.Jsonw.Float r.Korch.Orchestrator.plan.Runtime.Plan.total_latency_us);
+        ("kernels", Obs.Jsonw.Int (Runtime.Plan.kernel_count r.Korch.Orchestrator.plan));
+        ("redundancy", Obs.Jsonw.Int (Runtime.Plan.redundancy r.Korch.Orchestrator.plan));
+        ("candidates", Obs.Jsonw.Int r.Korch.Orchestrator.total_candidates);
+        ("states", Obs.Jsonw.Int r.Korch.Orchestrator.total_states);
+        ( "degraded_segments",
+          Obs.Jsonw.Int (List.length r.Korch.Orchestrator.degraded_segments) );
+        ("wall_s", Obs.Jsonw.Float wall_s);
+      ]
+    :: !bench_entries
+
+let bench_json () =
+  Obs.Jsonw.to_string
+    (Obs.Jsonw.Obj
+       [
+         ("schema", Obs.Jsonw.Str "korch-bench/1");
+         ("entries", Obs.Jsonw.List (List.rev !bench_entries));
+       ])
 
 type baseline_row = {
   eager_us : float;

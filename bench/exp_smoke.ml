@@ -1,0 +1,32 @@
+(* Smoke benchmark — the CI bench gate's workload.
+
+   Orchestrates the two fastest zoo models end to end at paper scale on
+   V100/FP32 and records one korch-bench/1 entry each. Plan latencies are
+   fully deterministic (simulated profiling, node-count solver budget), so
+   any drift past the gate's tolerance is a real behaviour change in the
+   pipeline, not measurement noise. Keep this fast: it runs on every pull
+   request (`dune build @bench-smoke`). *)
+
+let models = [ "candy"; "segformer" ]
+
+let run () =
+  Bench_common.section "bench smoke (CI regression gate workload)";
+  List.iter
+    (fun name ->
+      let entry =
+        match Models.Registry.find name with
+        | Some e -> e
+        | None -> failwith ("exp_smoke: unknown zoo model " ^ name)
+      in
+      let g = entry.Models.Registry.build ~batch:1 () in
+      let t0 = Bench_common.wall_clock () in
+      let r = Bench_common.run_korch Bench_common.v100_fp32 g in
+      let wall_s = Bench_common.wall_clock () -. t0 in
+      Printf.printf "  %-12s %10.2f us  %4d kernels  %2d segments  [%.1fs]\n" name
+        r.Korch.Orchestrator.plan.Runtime.Plan.total_latency_us
+        (Runtime.Plan.kernel_count r.Korch.Orchestrator.plan)
+        (List.length r.Korch.Orchestrator.segments)
+        wall_s;
+      Bench_common.record_entry ~experiment:"smoke" ~model:name Bench_common.v100_fp32 r
+        ~wall_s)
+    models

@@ -16,10 +16,13 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablation", "design-choice ablations", Exp_ablation.run);
     ("multistream", "multi-stream headroom (extension)", Exp_multistream.run);
     ("parallel", "multicore segment orchestration speedup", Exp_parallel.run);
-    ("micro", "bechamel microbenchmarks", Microbench.run) ]
+    ("micro", "bechamel microbenchmarks", Microbench.run);
+    ("smoke", "CI bench-gate workload (fastest models)", Exp_smoke.run) ]
 
 let () =
   let only = ref None in
+  let bench_json = ref None in
+  let trace = ref None in
   let rec parse = function
     | [] -> ()
     | "--only" :: v :: rest ->
@@ -33,8 +36,17 @@ let () =
       | Some n when n >= 1 -> Bench_common.jobs := n
       | _ -> Printf.eprintf "-j expects a positive integer, got %s\n" v);
       parse rest
+    | "--bench-json" :: v :: rest ->
+      bench_json := Some v;
+      parse rest
+    | "--trace" :: v :: rest ->
+      trace := Some v;
+      parse rest
     | x :: rest ->
-      Printf.eprintf "unknown argument %s (try --list / --only ids / -j N)\n" x;
+      Printf.eprintf
+        "unknown argument %s (try --list / --only ids / -j N / --bench-json FILE / --trace \
+         FILE)\n"
+        x;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -44,9 +56,29 @@ let () =
     | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) experiments
   in
   Printf.printf "Korch benchmark harness — %d experiment(s)\n" (List.length selected);
+  if !trace <> None then Obs.Trace.start ();
+  (* Wall clock, not [Sys.time]: CPU time counts every worker domain and
+     overstates -j > 1 runs (the same trap that once shrank the BLP
+     budget — see DESIGN.md). *)
   List.iter
     (fun (_, _, run) ->
-      let t0 = Sys.time () in
+      let t0 = Bench_common.wall_clock () in
       run ();
-      Printf.printf "[%.1fs]\n" (Sys.time () -. t0))
-    selected
+      Printf.printf "[%.1fs]\n" (Bench_common.wall_clock () -. t0))
+    selected;
+  (match !trace with
+  | Some path ->
+    Obs.Trace.stop ();
+    let oc = open_out path in
+    output_string oc (Obs.Trace.export ());
+    close_out oc;
+    Printf.printf "wrote trace to %s\n" path
+  | None -> ());
+  match !bench_json with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Bench_common.bench_json ());
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote bench document to %s\n" path
+  | None -> ()

@@ -1,0 +1,117 @@
+(* bench_gate — the bench-regression gate CI runs.
+
+   Compares a freshly produced bench document (schema korch-bench/1, from
+   `bench/main.exe --bench-json`) against a committed baseline and exits
+   nonzero when any entry's plan latency regressed beyond the tolerance,
+   or when an entry present in the baseline is missing from the current
+   run. Improvements and new entries are reported but never fail the
+   gate; refreshing the baseline is an explicit `--update` run.
+
+   Exit codes: 0 OK, 1 regression or missing entry, 2 usage/parse error. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  doc
+
+let parse_doc path =
+  match Onnx.Json.of_string (read_file path) with
+  | j -> j
+  | exception Onnx.Json.Parse_error (msg, off) ->
+    Printf.eprintf "bench_gate: %s: parse error at byte %d: %s\n" path off msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "bench_gate: %s\n" msg;
+    exit 2
+
+type entry = { key : string; latency_us : float; kernels : int }
+
+(* An entry's identity: experiment + model + gpu + precision. *)
+let entries_of path (j : Onnx.Json.t) : entry list =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "bench_gate: %s: %s\n" path m; exit 2) fmt in
+  (match Onnx.Json.member "schema" j with
+  | Some (Onnx.Json.Str "korch-bench/1") -> ()
+  | _ -> fail "missing or unsupported \"schema\" (want korch-bench/1)");
+  match Onnx.Json.member "entries" j with
+  | Some (Onnx.Json.List l) ->
+    List.map
+      (fun e ->
+        let str k =
+          match Onnx.Json.member k e with
+          | Some (Onnx.Json.Str s) -> s
+          | _ -> fail "entry missing string field %S" k
+        in
+        let num k =
+          match Onnx.Json.member k e with
+          | Some (Onnx.Json.Num n) -> n
+          | _ -> fail "entry missing numeric field %S" k
+        in
+        {
+          key =
+            Printf.sprintf "%s/%s/%s/%s" (str "experiment") (str "model") (str "gpu")
+              (str "precision");
+          latency_us = num "latency_us";
+          kernels = int_of_float (num "kernels");
+        })
+      l
+  | _ -> fail "missing \"entries\" list"
+
+let gate baseline_path current_path tolerance_pct =
+  let baseline = entries_of baseline_path (parse_doc baseline_path) in
+  let current = entries_of current_path (parse_doc current_path) in
+  let failures = ref 0 in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> c.key = b.key) current with
+      | None ->
+        incr failures;
+        Printf.printf "MISSING    %-40s (in baseline, not in current run)\n" b.key
+      | Some c ->
+        let delta_pct =
+          if b.latency_us = 0.0 then 0.0
+          else (c.latency_us -. b.latency_us) /. b.latency_us *. 100.0
+        in
+        if delta_pct > tolerance_pct then begin
+          incr failures;
+          Printf.printf "REGRESSION %-40s %.2f us -> %.2f us (%+.2f%% > %+.2f%% tolerance)\n"
+            b.key b.latency_us c.latency_us delta_pct tolerance_pct
+        end
+        else
+          Printf.printf "ok         %-40s %.2f us -> %.2f us (%+.2f%%, %d kernels)\n" b.key
+            b.latency_us c.latency_us delta_pct c.kernels)
+    baseline;
+  List.iter
+    (fun c ->
+      if not (List.exists (fun b -> b.key = c.key) baseline) then
+        Printf.printf "new        %-40s %.2f us (not in baseline — commit a refresh)\n" c.key
+          c.latency_us)
+    current;
+  if !failures > 0 then begin
+    Printf.printf "bench gate: FAILED (%d regression(s)/missing entrie(s))\n" !failures;
+    exit 1
+  end
+  else print_endline "bench gate: OK"
+
+let () =
+  let baseline =
+    Arg.(required & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Committed korch-bench/1 baseline document.")
+  in
+  let current =
+    Arg.(required & opt (some file) None & info [ "current" ] ~docv:"FILE"
+           ~doc:"Freshly produced korch-bench/1 document to gate.")
+  in
+  let tolerance =
+    Arg.(value & opt float 2.0 & info [ "tolerance" ] ~docv:"PCT"
+           ~doc:"Allowed plan-latency increase per entry, in percent.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "bench_gate" ~doc:"Fail when a bench run regresses against its baseline")
+      Term.(const gate $ baseline $ current $ tolerance)
+  in
+  exit (Cmd.eval cmd)

@@ -64,6 +64,42 @@ let verbose_arg =
   let doc = "Print the full kernel plan." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let json_arg =
+  let doc =
+    "Print the machine-readable JSON report (schema korch-report/1) on stdout instead of \
+     the text summary; diagnostics go to stderr."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Record the orchestration as a Chrome trace-event file (open at chrome://tracing or \
+     ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] under span collection when [--trace FILE] was given. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let r, doc = Obs.Trace.with_tracing f in
+    let oc = open_out path in
+    output_string oc doc;
+    close_out oc;
+    Printf.eprintf "wrote trace to %s\n%!" path;
+    r
+
+let report_meta ~source ~gpu ~precision ~batch ~jobs extra =
+  [
+    ("model", Obs.Jsonw.Str source);
+    ("gpu", Obs.Jsonw.Str gpu.Gpu.Spec.name);
+    ("precision", Obs.Jsonw.Str (Gpu.Precision.to_string precision));
+    ("batch", Obs.Jsonw.Int batch);
+    ("jobs", Obs.Jsonw.Int jobs);
+  ]
+  @ extra
+
 let inject_conv =
   let parse s =
     match Faults.parse_rule s with Ok r -> Ok r | Error m -> Error (`Msg m)
@@ -144,31 +180,45 @@ let list_cmd =
 (* ----------------------- optimize ----------------------- *)
 
 let optimize_action model gpu precision batch small window jobs verbose dot streams inject
-    fault_seed =
+    fault_seed json trace =
   install_faults inject fault_seed;
+  (* Info lines must not corrupt the JSON document on stdout. *)
+  let say fmt = Printf.ksprintf (fun s -> if json then prerr_string s else print_string s) fmt in
   let entry = find_model model in
   let g = build_graph entry ~small ~batch in
-  let t0 = Sys.time () in
-  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window ~jobs) g in
-  Printf.printf "%s on %s/%s (batch %d)\n" model gpu.Gpu.Spec.name
-    (Gpu.Precision.to_string precision) batch;
-  print_string (Korch.Report.summary r);
-  Printf.printf "  wall-clock opt  : %.1f s\n" (Sys.time () -. t0);
-  print_outcomes ~verbose r;
-  if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan;
+  let t0 = Obs.Clock.now_s () in
+  let r =
+    with_trace trace (fun () -> Korch.Orchestrator.run (config ~spec:gpu ~precision ~window ~jobs) g)
+  in
+  let wall_s = Obs.Clock.now_s () -. t0 in
+  if json then
+    print_endline
+      (Korch.Report.json_string
+         ~meta:
+           (report_meta ~source:model ~gpu ~precision ~batch ~jobs
+              [ ("wall_s", Obs.Jsonw.Float wall_s) ])
+         r)
+  else begin
+    Printf.printf "%s on %s/%s (batch %d)\n" model gpu.Gpu.Spec.name
+      (Gpu.Precision.to_string precision) batch;
+    print_string (Korch.Report.summary r);
+    Printf.printf "  wall-clock opt  : %.1f s\n" wall_s;
+    print_outcomes ~verbose r;
+    if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan
+  end;
   (match dot with
   | Some path ->
     let oc = open_out path in
     output_string oc
       (Runtime.Dot_export.plan_to_dot r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan);
     close_out oc;
-    Printf.printf "wrote kernel-cluster DOT to %s\n" path
+    say "wrote kernel-cluster DOT to %s\n" path
   | None -> ());
   if streams > 1 then begin
     let a =
       Runtime.Multistream.analyze r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan ~streams
     in
-    Printf.printf "projected onto %d streams: %.2f us (critical path %.2f us)\n" streams
+    say "projected onto %d streams: %.2f us (critical path %.2f us)\n" streams
       a.Runtime.Multistream.makespan_us a.Runtime.Multistream.critical_path_us
   end
 
@@ -183,7 +233,7 @@ let optimize_cmd =
       $ Arg.(value & opt int 1
              & info [ "streams" ] ~docv:"N"
                  ~doc:"Also project the plan onto N concurrent streams.")
-      $ inject_arg $ fault_seed_arg)
+      $ inject_arg $ fault_seed_arg $ json_arg $ trace_arg)
 
 (* ----------------------- compare ----------------------- *)
 
@@ -323,23 +373,43 @@ let check_cmd =
 
 (* -------------------------- run ------------------------- *)
 
-let run_action file gpu precision window jobs verbose inject fault_seed =
+let run_action file model gpu precision batch small window jobs verbose inject fault_seed json
+    trace assert_det =
   install_faults inject fault_seed;
-  let ic = open_in file in
-  let len = in_channel_length ic in
-  let doc = really_input_string ic len in
-  close_in ic;
-  let g =
-    match Onnx.Deserialize.opgraph_of_string doc with
-    | g -> g
-    | exception Onnx.Deserialize.Format_error m ->
-      Printf.eprintf "%s: %s\n" file m;
-      exit 1
+  let g, source =
+    match (model, file) with
+    | Some m, None -> (build_graph (find_model m) ~small ~batch, m)
+    | None, Some f -> begin
+      let ic = open_in f in
+      let len = in_channel_length ic in
+      let doc = really_input_string ic len in
+      close_in ic;
+      match Onnx.Deserialize.opgraph_of_string doc with
+      | g -> (g, Filename.basename f)
+      | exception Onnx.Deserialize.Format_error m ->
+        Printf.eprintf "%s: %s\n" f m;
+        exit 1
+    end
+    | _ ->
+      prerr_endline "run: specify exactly one of -m MODEL or a FILE argument";
+      exit 2
   in
-  let r = Korch.Orchestrator.run (config ~spec:gpu ~precision ~window ~jobs) g in
-  print_string (Korch.Report.summary r);
-  print_outcomes ~verbose r;
-  if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan;
+  let cfg = config ~spec:gpu ~precision ~window ~jobs in
+  let r = with_trace trace (fun () -> Korch.Orchestrator.run cfg g) in
+  (* [--assert-deterministic]: re-orchestrate at a different worker count
+     (and with tracing off) and require the bit-identical plan — the
+     reproducibility contract the solver's node-count budget exists for. *)
+  if assert_det then begin
+    let alt_jobs = if jobs = 1 then max 2 (Parallel.Domain_pool.default_jobs ()) else 1 in
+    let r2 = Korch.Orchestrator.run { cfg with Korch.Orchestrator.jobs = alt_jobs } g in
+    if r.Korch.Orchestrator.plan = r2.Korch.Orchestrator.plan then
+      Printf.eprintf "deterministic: plans bit-identical at -j %d and -j %d\n%!" jobs alt_jobs
+    else begin
+      Printf.eprintf "run: NOT DETERMINISTIC — plans differ between -j %d and -j %d\n%!" jobs
+        alt_jobs;
+      exit 3
+    end
+  end;
   (* Execute the plan on random inputs as a functional check. *)
   let inputs =
     Array.to_list g.Ir.Graph.nodes
@@ -354,18 +424,41 @@ let run_action file gpu precision window jobs verbose inject fault_seed =
   let diff =
     List.fold_left2 (fun a e g -> Float.max a (Tensor.Nd.max_abs_diff e g)) 0.0 expected got
   in
-  Printf.printf "executed plan; max |diff| vs reference interpreter: %g\n" diff
+  if json then
+    print_endline
+      (Korch.Report.json_string
+         ~meta:
+           (report_meta ~source ~gpu ~precision ~batch ~jobs
+              [ ("max_abs_diff", Obs.Jsonw.Float diff) ])
+         r)
+  else begin
+    print_string (Korch.Report.summary r);
+    print_outcomes ~verbose r;
+    if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan;
+    Printf.printf "executed plan; max |diff| vs reference interpreter: %g\n" diff
+  end
 
 let run_cmd =
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
            ~doc:"ONNX-JSON operator graph to optimize and execute.")
   in
+  let model =
+    Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"MODEL"
+           ~doc:"Zoo model to optimize and execute instead of a FILE (see `korch list').")
+  in
+  let assert_det =
+    Arg.(value & flag
+         & info [ "assert-deterministic" ]
+             ~doc:"Re-orchestrate at a different -j and fail (exit 3) unless the plans are \
+                   bit-identical.")
+  in
   Cmd.v
-    (Cmd.info "run" ~doc:"Optimize and execute an ONNX-JSON graph")
+    (Cmd.info "run" ~doc:"Optimize and execute an ONNX-JSON graph or zoo model")
     Term.(
-      const run_action $ file $ gpu_arg $ precision_arg $ window_arg $ jobs_arg $ verbose_arg
-      $ inject_arg $ fault_seed_arg)
+      const run_action $ file $ model $ gpu_arg $ precision_arg $ batch_arg $ small_arg
+      $ window_arg $ jobs_arg $ verbose_arg $ inject_arg $ fault_seed_arg $ json_arg $ trace_arg
+      $ assert_det)
 
 let () =
   let info =

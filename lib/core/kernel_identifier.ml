@@ -67,10 +67,18 @@ let nonempty_subsets (l : int list) : int list list =
   in
   List.filter (fun s -> s <> []) (go l)
 
+(* Enumeration census across every segment of every run. *)
+let m_states = Obs.Metrics.counter "identifier.states"
+let m_truncated = Obs.Metrics.counter "identifier.states_truncated"
+let m_accepted = Obs.Metrics.counter "identifier.candidates_accepted"
+let m_prefiltered = Obs.Metrics.counter "identifier.candidates_prefiltered"
+
 (** [identify cfg ~spec ~precision ~cache g] — all accepted candidate
     kernels of [g], plus enumeration statistics. *)
 let identify (cfg : config) ~(spec : Gpu.Spec.t) ~(precision : Gpu.Precision.t)
     ~(cache : Gpu.Profile_cache.t) (g : Primgraph.t) : Candidate.t array * stats =
+  Obs.Span.with_ ~name:"identify" ~args:[ ("nodes", Obs.Jsonw.Int (Graph.length g)) ]
+  @@ fun () ->
   let states, states_truncated = Exec_state.enumerate_bounded g ~max_states:cfg.max_states in
   let n_states = List.length states in
   (* Distinct convex subgraphs from pairwise differences. *)
@@ -168,6 +176,10 @@ let identify (cfg : config) ~(spec : Gpu.Spec.t) ~(precision : Gpu.Precision.t)
       (Array.of_list kept, Array.length candidates - List.length kept)
     end
   in
+  Obs.Metrics.add m_states n_states;
+  if states_truncated then Obs.Metrics.incr m_truncated;
+  Obs.Metrics.add m_accepted (Array.length candidates);
+  Obs.Metrics.add m_prefiltered prefiltered;
   ( candidates,
     {
       states = n_states;

@@ -190,6 +190,8 @@ type segment_result = {
   latency_us : float;
   cuts_added : int;
   outcome : outcome;
+  phase_us : (string * float) list;
+      (** wall-clock per pipeline phase: [transform], [identify], [solve] *)
 }
 
 type result = {
@@ -205,6 +207,9 @@ type result = {
   time_limit_hits : int;  (** segments whose BLP CPU-time safety net bound *)
   truncated_segments : int list;
       (** indices of segments whose state enumeration was truncated *)
+  phase_us : (string * float) list;
+      (** wall-clock per run-level phase: [fission] (from {!run} only),
+          [partition], [segments], [stitch], [verify], [total] *)
 }
 
 (* Raise a structured [Verify]-site error if a verification report
@@ -363,10 +368,31 @@ let greedy_plan (g : Primgraph.t) (candidates : Candidate.t array) (singleton : 
 
 (* ------------------------------------------------------------------ *)
 
+(* Degradation-tier census across every segment of every run. *)
+let m_tier_optimal = Obs.Metrics.counter "orchestrator.tier.optimal"
+let m_tier_incumbent = Obs.Metrics.counter "orchestrator.tier.incumbent"
+let m_tier_greedy = Obs.Metrics.counter "orchestrator.tier.greedy"
+let m_tier_unfused = Obs.Metrics.counter "orchestrator.tier.unfused"
+let m_worker_retries = Obs.Metrics.counter "orchestrator.worker_retries"
+
+let tier_counter = function
+  | Optimal -> m_tier_optimal
+  | Incumbent -> m_tier_incumbent
+  | Greedy -> m_tier_greedy
+  | Unfused -> m_tier_unfused
+
 (* Solve one segment: BLP + schedule with no-good cut loop, walking the
    degradation ladder on failure unless [fail_fast]. *)
 let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
     (seg : Partition.segment) : segment_result =
+  Obs.Span.with_ ~name:"segment"
+    ~args:
+      [
+        ("seg", Obs.Jsonw.Int seg_index);
+        ( "prims",
+          Obs.Jsonw.Int (List.length (Primgraph.non_source_nodes seg.Partition.local)) );
+      ]
+  @@ fun () ->
   let fallback_reason = ref None in
   let note site fmt =
     Printf.ksprintf
@@ -392,7 +418,9 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
         seg.Partition.local
     else Transform.Cse.run seg.Partition.local
   in
-  let transformed, transform_degraded =
+  let (transformed, transform_degraded), transform_us =
+    Obs.Clock.timed_us @@ fun () ->
+    Obs.Span.with_ ~name:"transform" @@ fun () ->
     match transform_attempt () with
     | t ->
       if cfg.check_invariants then begin
@@ -423,7 +451,8 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
   in
   (* Kernel identification. Per-candidate profiler failures are absorbed
      inside [identify]; a failure here is the enumerator itself dying. *)
-  let candidates, id_stats =
+  let (candidates, id_stats), identify_us =
+    Obs.Clock.timed_us @@ fun () ->
     match
       Kernel_identifier.identify cfg.identifier ~spec:cfg.spec ~precision:cfg.precision ~cache
         transformed
@@ -489,7 +518,9 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
           (Printf.sprintf "injected fault at %s (call %d)" (Faults.site_to_string site) hit)
     end
   in
-  let selected, latency_us, cuts_added, tier, time_limit_hit =
+  let (selected, latency_us, cuts_added, tier, time_limit_hit), solve_us =
+    Obs.Clock.timed_us @@ fun () ->
+    Obs.Span.with_ ~name:"solve" @@ fun () ->
     if Primgraph.non_source_nodes transformed = [] then ([], 0.0, 0, Optimal, false)
     else begin
       match solve_with_cuts [] 0 with
@@ -514,7 +545,19 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
       transform_degraded;
     }
   in
-  { seg; seg_index; transformed; candidates; id_stats; selected; latency_us; cuts_added; outcome }
+  {
+    seg;
+    seg_index;
+    transformed;
+    candidates;
+    id_stats;
+    selected;
+    latency_us;
+    cuts_added;
+    outcome;
+    phase_us =
+      [ ("transform", transform_us); ("identify", identify_us); ("solve", solve_us) ];
+  }
 
 (* Stitch per-segment transformed graphs back into one executable graph,
    translating each segment's plan kernels to stitched node ids. *)
@@ -593,15 +636,20 @@ let stitch (original : Primgraph.t) (results : segment_result list) :
 (** [run_primgraph cfg g] — orchestrate a primitive graph. *)
 let run_primgraph (cfg : config) (g : Primgraph.t) : result =
   let body () =
+    Obs.Span.with_ ~name:"orchestrate" ~args:[ ("nodes", Obs.Jsonw.Int (Graph.length g)) ]
+    @@ fun () ->
     let cache = Gpu.Profile_cache.create () in
-    let segments = Partition.split g ~max_prims:cfg.partition_max_prims in
+    let segments, partition_us =
+      Obs.Clock.timed_us (fun () -> Partition.split g ~max_prims:cfg.partition_max_prims)
+    in
     let indexed = List.mapi (fun i s -> (i, s)) segments in
     (* Segments are mutually independent (cross-segment tensors are Input
        placeholders), so they can be solved on a domain pool. Results come
        back in segment order and the profile cache is sharded and locked,
        so the stitched plan is bit-identical to [jobs = 1]. *)
     let jobs = min cfg.jobs (List.length segments) in
-    let results =
+    let results, segments_us =
+      Obs.Clock.timed_us @@ fun () ->
       if jobs <= 1 then
         List.map (fun (i, s) -> solve_segment cfg ~cache ~seg_index:i s) indexed
       else
@@ -640,7 +688,10 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
                  end)
              indexed
     in
-    let graph, kernels = stitch g results in
+    let (graph, kernels), stitch_us =
+      Obs.Clock.timed_us (fun () ->
+          Obs.Span.with_ ~name:"stitch" (fun () -> stitch g results))
+    in
     let plan = Runtime.Plan.make kernels in
     let degraded_segments =
       List.filter_map
@@ -655,10 +706,21 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
           else None)
         results
     in
-    if cfg.check_invariants then begin
-      enforce ~what:"stitched graph" (Verify.graph_check graph);
-      enforce ~what:"stitched plan" (Verify.plan_check ~degraded:degraded_info graph plan)
-    end;
+    let verify_us =
+      if not cfg.check_invariants then 0.0
+      else
+        snd
+          (Obs.Clock.timed_us (fun () ->
+               Obs.Span.with_ ~name:"verify" (fun () ->
+                   enforce ~what:"stitched graph" (Verify.graph_check graph);
+                   enforce ~what:"stitched plan"
+                     (Verify.plan_check ~degraded:degraded_info graph plan))))
+    in
+    List.iter
+      (fun r ->
+        Obs.Metrics.incr (tier_counter r.outcome.tier);
+        if r.outcome.retries > 0 then Obs.Metrics.add m_worker_retries r.outcome.retries)
+      results;
     {
       graph;
       plan;
@@ -679,14 +741,36 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
           (fun r ->
             if r.id_stats.Kernel_identifier.states_truncated then Some r.seg_index else None)
           results;
+      phase_us =
+        [
+          ("partition", partition_us);
+          ("segments", segments_us);
+          ("stitch", stitch_us);
+          ("verify", verify_us);
+        ];
     }
   in
-  if cfg.faults = [] then body ()
-  else Faults.with_policy ~seed:cfg.fault_seed cfg.faults body
+  let timed_body () =
+    let r, total_us = Obs.Clock.timed_us body in
+    { r with phase_us = r.phase_us @ [ ("total", total_us) ] }
+  in
+  if cfg.faults = [] then timed_body ()
+  else Faults.with_policy ~seed:cfg.fault_seed cfg.faults timed_body
 
 (** [run cfg g] — orchestrate an operator-level computation graph: apply
     operator fission, then {!run_primgraph}. *)
 let run (cfg : config) (g : Opgraph.t) : result =
-  let pg, _mapping = Fission.Engine.run g in
+  let (pg, _mapping), fission_us =
+    Obs.Clock.timed_us (fun () ->
+        Obs.Span.with_ ~name:"fission" (fun () -> Fission.Engine.run g))
+  in
   if cfg.check_invariants then enforce ~what:"fissioned graph" (Verify.graph_check pg);
-  run_primgraph cfg pg
+  let r = run_primgraph cfg pg in
+  {
+    r with
+    phase_us =
+      ("fission", fission_us)
+      :: List.map
+           (fun (k, v) -> if k = "total" then (k, v +. fission_us) else (k, v))
+           r.phase_us;
+  }

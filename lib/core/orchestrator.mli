@@ -162,6 +162,11 @@ type segment_result = {
   latency_us : float;  (** modelled latency of the selected strategy *)
   cuts_added : int;  (** no-good cuts needed before a schedulable optimum *)
   outcome : outcome;  (** where on the degradation ladder this segment landed *)
+  phase_us : (string * float) list;
+      (** wall-clock spent per pipeline phase of this segment, in
+          microseconds: [transform], [identify] (enumeration + profiling),
+          [solve] (BLP + cut loop + ladder). Observational only — never
+          feeds back into optimization decisions *)
 }
 
 type result = {
@@ -180,6 +185,13 @@ type result = {
   truncated_segments : int list;
       (** indices of segments whose state enumeration was truncated at
           [max_states]: their candidate sets are valid but incomplete *)
+  phase_us : (string * float) list;
+      (** wall-clock spent per run-level phase, in microseconds:
+          [fission] (present only via {!run}), [partition], [segments]
+          (all per-segment pipelines, wall-clock — overlapping when
+          [jobs > 1]), [stitch], [verify], [total]. Timed with the
+          monotonic {!Obs.Clock}, so values are meaningful even when
+          worker domains run concurrently *)
 }
 
 (** [solve_segment cfg ~cache ?seg_index seg] — transform, identify,

@@ -33,8 +33,13 @@ type segment = {
 
 (** [split g ~max_prims] — partition [g] into segments of at most
     [max_prims] executable primitives each. *)
+let m_segments = Obs.Metrics.counter "partition.segments"
+
 let split (g : Primgraph.t) ~(max_prims : int) : segment list =
   if max_prims < 1 then invalid_arg "Partition.split: max_prims must be positive";
+  Obs.Span.with_ ~name:"partition.split"
+    ~args:[ ("nodes", Obs.Jsonw.Int (Graph.length g)); ("max_prims", Obs.Jsonw.Int max_prims) ]
+  @@ fun () ->
   let exec_order =
     List.filter (fun id -> not (Primitive.is_source (Graph.op g id))) (Graph.topo_order g)
   in
@@ -149,4 +154,5 @@ let split (g : Primgraph.t) ~(max_prims : int) : segment list =
       segments := { local = Primgraph.B.finish b; out_global = outs } :: !segments)
     boundaries;
   ignore n_windows;
+  Obs.Metrics.add m_segments (List.length !segments);
   List.rev !segments

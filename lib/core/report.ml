@@ -67,3 +67,75 @@ let pp_segments ppf (r : Orchestrator.result) =
 let summary (r : Orchestrator.result) : string = Format.asprintf "%a" pp_result r
 
 let segment_table (r : Orchestrator.result) : string = Format.asprintf "%a" pp_segments r
+
+(* ----------------------------- JSON report ----------------------------- *)
+
+let phase_obj (phases : (string * float) list) : Obs.Jsonw.t =
+  Obs.Jsonw.Obj (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) phases)
+
+let segment_to_json (s : Orchestrator.segment_result) : Obs.Jsonw.t =
+  let o = s.Orchestrator.outcome in
+  let st = s.Orchestrator.id_stats in
+  Obs.Jsonw.Obj
+    [
+      ("seg", Obs.Jsonw.Int s.Orchestrator.seg_index);
+      ("tier", Obs.Jsonw.Str (Orchestrator.tier_to_string o.Orchestrator.tier));
+      ("kernels", Obs.Jsonw.Int (List.length s.Orchestrator.selected));
+      ("candidates", Obs.Jsonw.Int (Array.length s.Orchestrator.candidates));
+      ("states", Obs.Jsonw.Int st.Kernel_identifier.states);
+      ("states_truncated", Obs.Jsonw.Bool st.Kernel_identifier.states_truncated);
+      ("profiled", Obs.Jsonw.Int st.Kernel_identifier.profiled);
+      ("prefiltered", Obs.Jsonw.Int st.Kernel_identifier.prefiltered);
+      ("latency_us", Obs.Jsonw.Float s.Orchestrator.latency_us);
+      ("cuts_added", Obs.Jsonw.Int s.Orchestrator.cuts_added);
+      ("retries", Obs.Jsonw.Int o.Orchestrator.retries);
+      ("time_limit_hit", Obs.Jsonw.Bool o.Orchestrator.time_limit_hit);
+      ("transform_degraded", Obs.Jsonw.Bool o.Orchestrator.transform_degraded);
+      ( "fallback_reason",
+        match o.Orchestrator.fallback_reason with
+        | Some s -> Obs.Jsonw.Str s
+        | None -> Obs.Jsonw.Null );
+      ("phase_us", phase_obj s.Orchestrator.phase_us);
+    ]
+
+(** [to_json ?meta r] — the machine-readable orchestration report
+    (schema [korch-report/1]). *)
+let to_json ?(meta : (string * Obs.Jsonw.t) list = []) (r : Orchestrator.result) :
+    Obs.Jsonw.t =
+  let count t =
+    List.length
+      (List.filter (fun s -> s.Orchestrator.outcome.Orchestrator.tier = t) r.Orchestrator.segments)
+  in
+  let ints l = Obs.Jsonw.List (List.map (fun i -> Obs.Jsonw.Int i) l) in
+  Obs.Jsonw.Obj
+    ([ ("schema", Obs.Jsonw.Str "korch-report/1") ]
+    @ (if meta = [] then [] else [ ("meta", Obs.Jsonw.Obj meta) ])
+    @ [
+        ("prim_nodes", Obs.Jsonw.Int r.Orchestrator.prim_nodes);
+        ("segments", Obs.Jsonw.Int (List.length r.Orchestrator.segments));
+        ("total_states", Obs.Jsonw.Int r.Orchestrator.total_states);
+        ("total_candidates", Obs.Jsonw.Int r.Orchestrator.total_candidates);
+        ("kernels", Obs.Jsonw.Int (Runtime.Plan.kernel_count r.Orchestrator.plan));
+        ("redundancy", Obs.Jsonw.Int (Runtime.Plan.redundancy r.Orchestrator.plan));
+        ( "plan_latency_us",
+          Obs.Jsonw.Float r.Orchestrator.plan.Runtime.Plan.total_latency_us );
+        ("tuning_time_s", Obs.Jsonw.Float r.Orchestrator.tuning_time_s);
+        ( "tiers",
+          Obs.Jsonw.Obj
+            [
+              ("optimal", Obs.Jsonw.Int (count Orchestrator.Optimal));
+              ("incumbent", Obs.Jsonw.Int (count Orchestrator.Incumbent));
+              ("greedy", Obs.Jsonw.Int (count Orchestrator.Greedy));
+              ("unfused", Obs.Jsonw.Int (count Orchestrator.Unfused));
+            ] );
+        ("degraded_segments", ints r.Orchestrator.degraded_segments);
+        ("truncated_segments", ints r.Orchestrator.truncated_segments);
+        ("time_limit_hits", Obs.Jsonw.Int r.Orchestrator.time_limit_hits);
+        ("phase_us", phase_obj r.Orchestrator.phase_us);
+        ( "per_segment",
+          Obs.Jsonw.List (List.map segment_to_json r.Orchestrator.segments) );
+        ("metrics", Obs.Metrics.to_json ());
+      ])
+
+let json_string ?meta (r : Orchestrator.result) : string =
+  Obs.Jsonw.to_string (to_json ?meta r)

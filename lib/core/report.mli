@@ -17,3 +17,16 @@ val summary : Orchestrator.result -> string
 
 (** [segment_table r] is [pp_segments] rendered to a string. *)
 val segment_table : Orchestrator.result -> string
+
+(** [to_json ?meta r] — machine-readable report, schema [korch-report/1]:
+    run-level counts (primitives, states, candidates, kernels, redundancy,
+    plan latency, tuning time), the degradation-tier census, per-phase
+    wall-clock timings, one object per segment (tier, kernel/candidate
+    counts, enumeration stats, retries, fallback reason, phase timings)
+    and a {!Obs.Metrics} snapshot under ["metrics"]. [meta] adds a
+    caller-supplied ["meta"] object (model name, GPU, precision, jobs…).
+    The output parses back with [Onnx.Json]. *)
+val to_json : ?meta:(string * Obs.Jsonw.t) list -> Orchestrator.result -> Obs.Jsonw.t
+
+(** [json_string ?meta r] is [to_json] rendered compactly. *)
+val json_string : ?meta:(string * Obs.Jsonw.t) list -> Orchestrator.result -> string

@@ -25,6 +25,16 @@ type shard = {
 
 type t = { shards : shard array }
 
+(* Process-wide census across every cache instance; the per-instance
+   fields above keep the per-run Table 2 accounting. *)
+let m_hits = Obs.Metrics.counter "profile_cache.hits"
+let m_misses = Obs.Metrics.counter "profile_cache.misses"
+
+let h_tuning =
+  Obs.Metrics.histogram
+    ~bounds:[| 1.0; 10.0; 60.0; 120.0; 600.0; 3600.0; 43200.0 |]
+    "profile_cache.tuning_s"
+
 let default_shards = 64
 
 let create ?(shards = default_shards) () : t =
@@ -52,12 +62,16 @@ let profile (cache : t) (cfg : Profiler.config) ~(spec : Spec.t)
       match Hashtbl.find_opt sh.table key with
       | Some r ->
         sh.hits <- sh.hits + 1;
+        Obs.Metrics.incr m_hits;
         r
       | None ->
         sh.misses <- sh.misses + 1;
+        Obs.Metrics.incr m_misses;
         let r = Profiler.profile cfg ~spec ~precision g members ~outputs in
         (match r with
-        | Some r -> sh.tuning_time_s <- sh.tuning_time_s +. r.Profiler.tuning_time_s
+        | Some r ->
+          sh.tuning_time_s <- sh.tuning_time_s +. r.Profiler.tuning_time_s;
+          Obs.Metrics.observe h_tuning r.Profiler.tuning_time_s
         | None -> ());
         Hashtbl.replace sh.table key r;
         r)

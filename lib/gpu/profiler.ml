@@ -75,11 +75,21 @@ let simulated_tuning_time ~(backend : Cost_model.backend_kind) (sig_ : string)
 (** [profile cfg ~spec ~precision g members ~outputs] — generate-and-profile
     one candidate kernel. [None] means the candidate is rejected (the
     paper's "Profiling returns infinity"). *)
+(* Accept/reject census of raw (uncached) profiler calls. *)
+let m_accepted = Obs.Metrics.counter "profiler.accepted"
+let m_rejected = Obs.Metrics.counter "profiler.rejected"
+
 let profile (cfg : config) ~(spec : Spec.t) ~(precision : Precision.t) (g : Primgraph.t)
     (members : Bitset.t) ~(outputs : int list) : result option =
   (* A real measurement can crash or hang the tuner; the injection site
      lets tests force exactly that for any chosen candidate. *)
   Faults.check Faults.Profiler;
+  let counted r =
+    Obs.Metrics.incr (if r = None then m_rejected else m_accepted);
+    r
+  in
+  counted
+  @@
   let s = Stats.kernel_stats g members ~outputs in
   if s.Stats.n_prims = 0 then None
   else

@@ -99,12 +99,30 @@ let objective_of (p : problem) (x : int array) : float =
     integral candidate violates them: most are slack at the optimum, and
     dropping them shrinks each LP dramatically. Bounds from the reduced
     LPs remain valid (a relaxation of a relaxation). *)
+(* Per-solver metrics: cumulative branch-and-bound work and incumbent
+   improvements across every solve in the process. *)
+let m_solves = Obs.Metrics.counter "ilp.solves"
+let m_nodes = Obs.Metrics.counter "ilp.nodes"
+let m_incumbents = Obs.Metrics.counter "ilp.incumbents"
+let m_time_limit_hits = Obs.Metrics.counter "ilp.time_limit_hits"
+
 let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_gap = 0.0)
     ?(lazy_dependencies = false) ?(warm_start : int array option) (p : problem) :
     solution option =
   Faults.check Faults.Ilp_solve;
+  Obs.Metrics.incr m_solves;
+  Obs.Span.with_ ~name:"ilp.solve"
+    ~args:
+      [
+        ("vars", Obs.Jsonw.Int (Array.length p.minimize));
+        ("rows", Obs.Jsonw.Int (List.length p.rows));
+      ]
+  @@ fun () ->
   let n = Array.length p.minimize in
-  let start = Sys.time () in
+  (* Monotonic wall clock, never [Sys.time]: CPU time counts every
+     domain's work, so under the pool it expired the budget jobs× early
+     (the PR 2 bug this safety net's docs recount). *)
+  let start_us = Obs.Clock.now_us () in
   let incumbent = ref None in
   let incumbent_obj = ref Float.infinity in
   (match warm_start with
@@ -181,9 +199,10 @@ let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_g
   let stack = Stack.create () in
   Stack.push (Array.make n (-1)) stack;
   while (not (Stack.is_empty stack)) && not !timed_out do
-    if Sys.time () -. start > time_limit_s then begin
+    if Obs.Clock.now_us () -. start_us > time_limit_s *. 1e6 then begin
       timed_out := true;
-      time_hit := true
+      time_hit := true;
+      Obs.Metrics.incr m_time_limit_hits
     end
     else if !nodes > max_nodes then timed_out := true
     else begin
@@ -241,7 +260,8 @@ let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_g
               let obj = objective_of p x in
               if obj < !incumbent_obj then begin
                 incumbent_obj := obj;
-                incumbent := Some x
+                incumbent := Some x;
+                Obs.Metrics.incr m_incumbents
               end
             end
             else begin
@@ -268,6 +288,7 @@ let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_g
         end
     end
   done;
+  Obs.Metrics.add m_nodes !nodes;
   match !incumbent with
   | None ->
     if !timed_out then None

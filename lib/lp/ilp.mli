@@ -32,10 +32,10 @@ type solution = {
   status : status;
   nodes_explored : int;
   time_limit_hit : bool;
-      (** the {e CPU-time} safety net (not the node budget) ended the
-          search. CPU time is jobs-dependent, so a binding time limit
-          means the result may not reproduce across worker counts —
-          callers should surface it *)
+      (** the wall-clock safety net (not the node budget) ended the
+          search. Wall time is machine-load-dependent, so a binding time
+          limit means the result may not reproduce run to run — callers
+          should surface it *)
 }
 
 (** [is_feasible_binary p x] checks every row of [p] against the 0/1
@@ -48,11 +48,11 @@ val objective_of : problem -> int array -> float
 (** [solve ?time_limit_s ?max_nodes ?rel_gap ?abs_gap ?lazy_dependencies
     ?warm_start p] minimizes over binary assignments.
 
-    @param time_limit_s CPU-time budget (default 60 s). Measured with
-           [Sys.time], i.e. process CPU time: concurrent domains make it
-           advance faster, so callers wanting run-to-run reproducibility
-           should bound work with [max_nodes] and keep this as a generous
-           safety net
+    @param time_limit_s wall-clock budget (default 60 s), measured on
+           {!Obs.Clock} ([CLOCK_MONOTONIC]) — {e never} [Sys.time], whose
+           process-CPU semantics once shrank this budget jobs× under the
+           worker pool. Still a safety net: callers wanting run-to-run
+           reproducibility should bound work with [max_nodes]
     @param max_nodes branch-and-bound node budget (default 200k) — a
            deterministic work measure: the same problem with the same
            budget always stops at the same incumbent

@@ -1,0 +1,19 @@
+(** The single time source (see the interface for the contract). *)
+
+external monotonic_ns : unit -> int64 = "korch_obs_monotonic_ns"
+
+(* Timestamps are reported relative to program start so they stay small
+   enough that a [float] of microseconds keeps sub-microsecond precision
+   for the lifetime of any realistic process. *)
+let origin : int64 = monotonic_ns ()
+
+let now_ns () : int64 = Int64.sub (monotonic_ns ()) origin
+
+let now_us () : float = Int64.to_float (now_ns ()) /. 1e3
+
+let now_s () : float = Int64.to_float (now_ns ()) /. 1e9
+
+let timed_us (f : unit -> 'a) : 'a * float =
+  let t0 = now_us () in
+  let v = f () in
+  (v, now_us () -. t0)

@@ -1,0 +1,26 @@
+(** The single monotonic time source of the repository.
+
+    Every budget, phase timing and trace timestamp reads this clock —
+    never [Sys.time]. [Sys.time] is {e process CPU time}: it counts the
+    work of all domains combined, so it advances [jobs]× faster under the
+    worker pool and once silently shrank the BLP budget at [jobs = 4] to
+    a fraction of its sequential horizon (see DESIGN.md). The clock here
+    is [CLOCK_MONOTONIC]: wall time that never steps backwards and is
+    unaffected by how many domains are running.
+
+    Timestamps are relative to program start, so microsecond floats keep
+    full precision. Safe to call from any domain (no allocation beyond
+    the boxed result, no locks). *)
+
+(** Nanoseconds since program start. *)
+val now_ns : unit -> int64
+
+(** Microseconds since program start (trace-event unit). *)
+val now_us : unit -> float
+
+(** Seconds since program start. *)
+val now_s : unit -> float
+
+(** [timed_us f] runs [f] and returns its result with the elapsed
+    wall-clock microseconds. *)
+val timed_us : (unit -> 'a) -> 'a * float

@@ -1,0 +1,17 @@
+/* Monotonic clock primitive for Obs.Clock.
+
+   CLOCK_MONOTONIC never jumps backwards (NTP slews it instead of
+   stepping) and, unlike the process CPU clock behind Sys.time, advances
+   at the same rate no matter how many domains are running — the property
+   every budget and timing in this repository depends on. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value korch_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

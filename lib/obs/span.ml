@@ -1,0 +1,26 @@
+(** Monotonic spans over {!Trace} (see the interface for the contract). *)
+
+let with_ ~(name : string) ?(args : (string * Jsonw.t) list = []) (f : unit -> 'a) : 'a =
+  if not (Trace.is_enabled ()) then f ()
+  else begin
+    let t0 = Clock.now_us () in
+    let finish () =
+      Trace.record
+        {
+          Trace.name;
+          cat = "korch";
+          ts_us = t0;
+          dur_us = Clock.now_us () -. t0;
+          tid = Trace.self_tid ();
+          args;
+        }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+  end

@@ -1,0 +1,18 @@
+(** Monotonic spans: the one instrumentation primitive pipeline stages
+    use.
+
+    [with_ ~name f] runs [f]. With tracing disabled (the default) the
+    cost is {e one atomic load and a branch} — no allocation, no clock
+    read, no lock — so call sites can stay in production code
+    permanently, the same discipline as [Faults.check]. With tracing
+    enabled ({!Trace.start}) it records one complete trace event spanning
+    [f]'s execution on the calling domain's track, timed by
+    {!Clock.now_us}.
+
+    Spans nest naturally (each is a closed interval on its domain's
+    track) and propagate exceptions unchanged, recording the span up to
+    the raise. [args] attach to the trace event; build them only when
+    cheap, since they are evaluated even when disabled — prefer constant
+    or already-computed values. *)
+
+val with_ : name:string -> ?args:(string * Jsonw.t) list -> (unit -> 'a) -> 'a

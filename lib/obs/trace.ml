@@ -1,0 +1,125 @@
+(** Trace-event collection (see the interface for the contract).
+
+    Events go to per-domain buffers: a domain only ever appends to its own
+    buffer (created on first use, registered under one mutex), so tracing
+    adds no cross-domain contention on the hot path. The exporter walks
+    all registered buffers — after {!stop}, when no recorder is active —
+    and merges them into one Chrome trace-event document. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** span start, microseconds since program start *)
+  dur_us : float;
+  tid : int;  (** the recording domain's id *)
+  args : (string * Jsonw.t) list;
+}
+
+let enabled = Atomic.make false
+let is_enabled () = Atomic.get enabled
+
+(* -------------------------- per-domain buffers ------------------------ *)
+
+let reg_lock = Mutex.create ()
+let buffers : event list ref list ref = ref []
+let track_names : (int * string) list ref = ref []
+
+let buffer_key : event list ref option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let my_buffer () : event list ref =
+  match Domain.DLS.get buffer_key with
+  | Some b -> b
+  | None ->
+    let b = ref [] in
+    Mutex.lock reg_lock;
+    buffers := b :: !buffers;
+    Mutex.unlock reg_lock;
+    Domain.DLS.set buffer_key (Some b);
+    b
+
+let record (e : event) : unit =
+  let b = my_buffer () in
+  b := e :: !b
+
+let self_tid () = (Domain.self () :> int)
+
+let name_track (name : string) : unit =
+  let tid = self_tid () in
+  Mutex.lock reg_lock;
+  if not (List.mem_assoc tid !track_names) then track_names := (tid, name) :: !track_names;
+  Mutex.unlock reg_lock
+
+(* ------------------------------ lifecycle ----------------------------- *)
+
+let start () =
+  Mutex.lock reg_lock;
+  List.iter (fun b -> b := []) !buffers;
+  Mutex.unlock reg_lock;
+  Atomic.set enabled true
+
+let stop () = Atomic.set enabled false
+
+let events () : event list =
+  Mutex.lock reg_lock;
+  let all = List.concat_map (fun b -> !b) !buffers in
+  Mutex.unlock reg_lock;
+  List.sort (fun a b -> compare (a.ts_us, a.tid) (b.ts_us, b.tid)) all
+
+(* ------------------------------- export ------------------------------- *)
+
+let event_to_json (e : event) : Jsonw.t =
+  Jsonw.Obj
+    ([
+       ("name", Jsonw.Str e.name);
+       ("cat", Jsonw.Str e.cat);
+       ("ph", Jsonw.Str "X");
+       ("ts", Jsonw.Float e.ts_us);
+       ("dur", Jsonw.Float e.dur_us);
+       ("pid", Jsonw.Int 1);
+       ("tid", Jsonw.Int e.tid);
+     ]
+    @ if e.args = [] then [] else [ ("args", Jsonw.Obj e.args) ])
+
+let to_json () : Jsonw.t =
+  let evs = events () in
+  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) evs) in
+  (* thread_name metadata for every track that recorded anything; tracks
+     that never registered a name display as "domain N". *)
+  let meta =
+    List.map
+      (fun tid ->
+        let name =
+          match List.assoc_opt tid !track_names with
+          | Some n -> n
+          | None -> Printf.sprintf "domain %d" tid
+        in
+        Jsonw.Obj
+          [
+            ("name", Jsonw.Str "thread_name");
+            ("ph", Jsonw.Str "M");
+            ("pid", Jsonw.Int 1);
+            ("tid", Jsonw.Int tid);
+            ("args", Jsonw.Obj [ ("name", Jsonw.Str name) ]);
+          ])
+      tids
+  in
+  Jsonw.Obj
+    [
+      ("traceEvents", Jsonw.List (meta @ List.map event_to_json evs));
+      ("displayTimeUnit", Jsonw.Str "ms");
+    ]
+
+let export () : string = Jsonw.to_string (to_json ())
+
+let with_tracing (f : unit -> 'a) : 'a * string =
+  start ();
+  let v =
+    match f () with
+    | v ->
+      stop ();
+      v
+    | exception e ->
+      stop ();
+      raise e
+  in
+  (v, export ())

@@ -1,0 +1,61 @@
+(** Trace-event collection and Chrome-trace export.
+
+    Tracing is {e off} by default and costs one atomic load per
+    instrumented site while off (the same discipline as [lib/faults] —
+    see DESIGN.md). When on, {!Span.with_} records one complete ("X")
+    event per span into a per-domain buffer, so concurrent worker domains
+    never contend; each event carries the recording domain's id as its
+    track ([tid]), which is how the worker pool's domains appear as
+    separate rows in the viewer.
+
+    The exported document is Chrome trace-event JSON: load it at
+    [chrome://tracing] or [ui.perfetto.dev].
+
+    Discipline: call {!stop} (and join any worker domains) before
+    {!events}/{!export} — the exporter reads buffers without
+    synchronizing with recorders. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** span start, microseconds since program start *)
+  dur_us : float;
+  tid : int;  (** the recording domain's id *)
+  args : (string * Jsonw.t) list;
+}
+
+(** Begin collecting: clears previously collected events, then enables
+    recording everywhere. *)
+val start : unit -> unit
+
+(** Stop collecting (events are kept for export). *)
+val stop : unit -> unit
+
+(** One atomic load: is collection enabled? *)
+val is_enabled : unit -> bool
+
+(** Append an event to the calling domain's buffer. Callers are expected
+    to have checked {!is_enabled} first ({!Span.with_} does). *)
+val record : event -> unit
+
+(** The calling domain's id — the [tid] under which its events record. *)
+val self_tid : unit -> int
+
+(** [name_track name] labels the calling domain's track in the exported
+    trace (e.g. ["worker 3"]); idempotent per domain. Safe — and cheap
+    enough — to call unconditionally at domain startup. *)
+val name_track : string -> unit
+
+(** All collected events, merged across domains, sorted by start time. *)
+val events : unit -> event list
+
+(** The Chrome trace-event document ([traceEvents] + thread-name
+    metadata). *)
+val to_json : unit -> Jsonw.t
+
+(** [export ()] = rendered {!to_json}. *)
+val export : unit -> string
+
+(** [with_tracing f] — {!start}, run [f], {!stop} (also on exception),
+    return [f]'s result with the exported trace document. *)
+val with_tracing : (unit -> 'a) -> 'a * string

@@ -128,6 +128,10 @@ let create ?(seed = 1) ~jobs () : t =
           Domain.spawn (fun () ->
               Domain.DLS.set ctx_key
                 (Some { id = i; rng = Tensor.Rng.create (worker_seed ~seed ~index:i) });
+              (* Label this domain's track in exported traces, whether or
+                 not tracing is on yet — registration is one mutexed list
+                 append per worker lifetime. *)
+              Obs.Trace.name_track (Printf.sprintf "pool worker %d" i);
               worker_loop pool));
   pool
 
@@ -151,7 +155,7 @@ let submit (pool : t) (f : unit -> 'a) : 'a future =
            which is what lets callers retry a failed task on the main
            domain without re-injecting the same fault. *)
         if Domain.DLS.get ctx_key <> None then Faults.check Faults.Worker;
-        Resolved (f ())
+        Resolved (Obs.Span.with_ ~name:"pool.task" f)
       with e -> Failed (e, Printexc.get_raw_backtrace ())
     in
     resolve fut st
