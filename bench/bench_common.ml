@@ -55,6 +55,8 @@ let record_entry ~experiment ~model ((spec, precision) : Gpu.Spec.t * Gpu.Precis
         ("redundancy", Obs.Jsonw.Int (Runtime.Plan.redundancy r.Korch.Orchestrator.plan));
         ("candidates", Obs.Jsonw.Int r.Korch.Orchestrator.total_candidates);
         ("states", Obs.Jsonw.Int r.Korch.Orchestrator.total_states);
+        ( "peak_mem_bytes",
+          Obs.Jsonw.Int r.Korch.Orchestrator.memory.Runtime.Memplan.peak_bytes );
         ( "degraded_segments",
           Obs.Jsonw.Int (List.length r.Korch.Orchestrator.degraded_segments) );
         ("wall_s", Obs.Jsonw.Float wall_s);

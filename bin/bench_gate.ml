@@ -2,16 +2,34 @@
 
    Compares a freshly produced bench document (schema korch-bench/1, from
    `bench/main.exe --bench-json`) against a committed baseline and exits
-   nonzero when any entry's plan latency regressed beyond the tolerance,
-   or when an entry present in the baseline is missing from the current
-   run. Improvements and new entries are reported but never fail the
-   gate; refreshing the baseline is an explicit `--update` run.
+   nonzero when any entry's plan latency regressed beyond the latency
+   tolerance, any entry's planned peak memory regressed beyond the memory
+   tolerance, or when an entry present in the baseline is missing from
+   the current run. Improvements and new entries are reported but never
+   fail the gate; refreshing the baseline is an explicit `--update` run.
+
+   A baseline entry without the (newer) "peak_mem_bytes" field skips the
+   memory check for that entry with a note telling the operator how to
+   refresh — an old-but-valid baseline must not turn into a bare failure.
 
    Exit codes: 0 OK, 1 regression or missing entry, 2 usage/parse error. *)
 
 open Cmdliner
 
+let refresh_hint path =
+  Printf.sprintf
+    "regenerate it with `dune exec bench/main.exe -- --only smoke --bench-json %s` and commit \
+     the result"
+    path
+
 let read_file path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf
+      "bench_gate: baseline/current file %s does not exist.\n\
+       If this is the committed baseline, %s.\n"
+      path (refresh_hint path);
+    exit 2
+  end;
   let ic = open_in path in
   let len = in_channel_length ic in
   let doc = really_input_string ic len in
@@ -28,7 +46,12 @@ let parse_doc path =
     Printf.eprintf "bench_gate: %s\n" msg;
     exit 2
 
-type entry = { key : string; latency_us : float; kernels : int }
+type entry = {
+  key : string;
+  latency_us : float;
+  kernels : int;
+  peak_mem_bytes : float option;  (* absent in pre-memplan baselines *)
+}
 
 (* An entry's identity: experiment + model + gpu + precision. *)
 let entries_of path (j : Onnx.Json.t) : entry list =
@@ -50,17 +73,21 @@ let entries_of path (j : Onnx.Json.t) : entry list =
           | Some (Onnx.Json.Num n) -> n
           | _ -> fail "entry missing numeric field %S" k
         in
+        let opt_num k =
+          match Onnx.Json.member k e with Some (Onnx.Json.Num n) -> Some n | _ -> None
+        in
         {
           key =
             Printf.sprintf "%s/%s/%s/%s" (str "experiment") (str "model") (str "gpu")
               (str "precision");
           latency_us = num "latency_us";
           kernels = int_of_float (num "kernels");
+          peak_mem_bytes = opt_num "peak_mem_bytes";
         })
       l
   | _ -> fail "missing \"entries\" list"
 
-let gate baseline_path current_path tolerance_pct =
+let gate baseline_path current_path tolerance_pct mem_tolerance_pct =
   let baseline = entries_of baseline_path (parse_doc baseline_path) in
   let current = entries_of current_path (parse_doc current_path) in
   let failures = ref 0 in
@@ -82,7 +109,29 @@ let gate baseline_path current_path tolerance_pct =
         end
         else
           Printf.printf "ok         %-40s %.2f us -> %.2f us (%+.2f%%, %d kernels)\n" b.key
-            b.latency_us c.latency_us delta_pct c.kernels)
+            b.latency_us c.latency_us delta_pct c.kernels;
+        (* Peak-memory gate, when both sides carry the field. *)
+        match (b.peak_mem_bytes, c.peak_mem_bytes) with
+        | Some bm, Some cm ->
+          let mem_delta_pct = if bm = 0.0 then 0.0 else (cm -. bm) /. bm *. 100.0 in
+          if mem_delta_pct > mem_tolerance_pct then begin
+            incr failures;
+            Printf.printf
+              "REGRESSION %-40s peak mem %.0f B -> %.0f B (%+.2f%% > %+.2f%% tolerance)\n"
+              b.key bm cm mem_delta_pct mem_tolerance_pct
+          end
+          else
+            Printf.printf "ok         %-40s peak mem %.0f B -> %.0f B (%+.2f%%)\n" b.key bm cm
+              mem_delta_pct
+        | None, _ ->
+          Printf.printf
+            "note       %-40s baseline lacks \"peak_mem_bytes\" — memory gate skipped; %s\n"
+            b.key (refresh_hint baseline_path)
+        | Some _, None ->
+          Printf.printf
+            "note       %-40s current run lacks \"peak_mem_bytes\" — memory gate skipped \
+             (bench harness predates the memory planner?)\n"
+            b.key)
     baseline;
   List.iter
     (fun c ->
@@ -97,21 +146,27 @@ let gate baseline_path current_path tolerance_pct =
   else print_endline "bench gate: OK"
 
 let () =
+  (* [string], not [file]: a missing baseline must produce the actionable
+     refresh hint above, not cmdliner's bare "no such file" usage error. *)
   let baseline =
-    Arg.(required & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
+    Arg.(required & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
            ~doc:"Committed korch-bench/1 baseline document.")
   in
   let current =
-    Arg.(required & opt (some file) None & info [ "current" ] ~docv:"FILE"
+    Arg.(required & opt (some string) None & info [ "current" ] ~docv:"FILE"
            ~doc:"Freshly produced korch-bench/1 document to gate.")
   in
   let tolerance =
     Arg.(value & opt float 2.0 & info [ "tolerance" ] ~docv:"PCT"
            ~doc:"Allowed plan-latency increase per entry, in percent.")
   in
+  let mem_tolerance =
+    Arg.(value & opt float 5.0 & info [ "mem-tolerance" ] ~docv:"PCT"
+           ~doc:"Allowed planned peak-memory increase per entry, in percent.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "bench_gate" ~doc:"Fail when a bench run regresses against its baseline")
-      Term.(const gate $ baseline $ current $ tolerance)
+      Term.(const gate $ baseline $ current $ tolerance $ mem_tolerance)
   in
   exit (Cmd.eval cmd)

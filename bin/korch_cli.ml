@@ -374,7 +374,7 @@ let check_cmd =
 (* -------------------------- run ------------------------- *)
 
 let run_action file model gpu precision batch small window jobs verbose inject fault_seed json
-    trace assert_det =
+    trace assert_det mem_report =
   install_faults inject fault_seed;
   let g, source =
     match (model, file) with
@@ -424,6 +424,41 @@ let run_action file model gpu precision batch small window jobs verbose inject f
   let diff =
     List.fold_left2 (fun a e g -> Float.max a (Tensor.Nd.max_abs_diff e g)) 0.0 expected got
   in
+  (* [--mem-report]: re-execute with the memory planner's buffer-reuse
+     mode, require bit-identical outputs, and print the planner + arena
+     accounting. *)
+  if mem_report then begin
+    let stats = Runtime.Executor.fresh_stats () in
+    let reused =
+      Runtime.Executor.run ~reuse:true ~stats r.Korch.Orchestrator.graph
+        r.Korch.Orchestrator.plan ~inputs
+    in
+    let bits_equal a b =
+      Tensor.Shape.equal (Tensor.Nd.shape a) (Tensor.Nd.shape b)
+      && Array.for_all2
+           (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+           a.Tensor.Nd.data b.Tensor.Nd.data
+    in
+    if not (List.for_all2 bits_equal got reused) then begin
+      Printf.eprintf "run: --mem-report outputs NOT bit-identical to the no-reuse executor\n%!";
+      exit 4
+    end;
+    let mp =
+      Runtime.Memplan.analyze r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan
+    in
+    let s = Runtime.Memplan.stats mp in
+    Format.printf "memory plan (executor, 8 B/elem): %a@." Runtime.Memplan.pp_stats s;
+    let m = r.Korch.Orchestrator.memory in
+    Format.printf "memory plan (device, %d B/elem): %a@."
+      (Gpu.Precision.bytes_per_element precision)
+      Runtime.Memplan.pp_stats m;
+    Printf.printf
+      "arena: %d evals (%d into recycled buffers, %d reshape aliases), %d buffers freed \
+       early, %d fresh elements vs %d without reuse; outputs bit-identical\n"
+      stats.Runtime.Executor.evals stats.Runtime.Executor.into_evals
+      stats.Runtime.Executor.aliases stats.Runtime.Executor.freed
+      stats.Runtime.Executor.fresh_elems (s.Runtime.Memplan.no_reuse_bytes / 8)
+  end;
   if json then
     print_endline
       (Korch.Report.json_string
@@ -453,12 +488,18 @@ let run_cmd =
              ~doc:"Re-orchestrate at a different -j and fail (exit 3) unless the plans are \
                    bit-identical.")
   in
+  let mem_report =
+    Arg.(value & flag
+         & info [ "mem-report" ]
+             ~doc:"Execute the plan a second time with buffer reuse, fail (exit 4) unless \
+                   outputs are bit-identical, and print the memory planner and arena stats.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize and execute an ONNX-JSON graph or zoo model")
     Term.(
       const run_action $ file $ model $ gpu_arg $ precision_arg $ batch_arg $ small_arg
       $ window_arg $ jobs_arg $ verbose_arg $ inject_arg $ fault_seed_arg $ json_arg $ trace_arg
-      $ assert_det)
+      $ assert_det $ mem_report)
 
 let () =
   let info =

@@ -125,6 +125,8 @@ let identify (cfg : config) ~(spec : Gpu.Spec.t) ~(precision : Gpu.Precision.t)
                   ext_inputs = Graph.external_inputs g members;
                   latency_us = r.Gpu.Profiler.latency_us;
                   backend = r.Gpu.Profiler.backend;
+                  workspace_bytes =
+                    Gpu.Cost_model.workspace_bytes ~precision g members ~outputs;
                 }
             in
             accepted := c :: !accepted

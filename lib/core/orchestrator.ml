@@ -207,6 +207,8 @@ type result = {
   time_limit_hits : int;  (** segments whose BLP CPU-time safety net bound *)
   truncated_segments : int list;
       (** indices of segments whose state enumeration was truncated *)
+  memory : Runtime.Memplan.stats;
+      (** static memory plan of the stitched plan (device-precision bytes) *)
   phase_us : (string * float) list;
       (** wall-clock per run-level phase: [fission] (from {!run} only),
           [partition], [segments], [stitch], [verify], [total] *)
@@ -274,6 +276,8 @@ let ensure_singletons (cfg : config) ~(cache : Gpu.Profile_cache.t) (g : Primgra
               ext_inputs = Graph.external_inputs g members;
               latency_us;
               backend;
+              workspace_bytes =
+                Gpu.Cost_model.workspace_bytes ~precision:cfg.precision g members ~outputs;
             }
           :: !extra;
         singleton.(id) <- !next;
@@ -374,6 +378,14 @@ let m_tier_incumbent = Obs.Metrics.counter "orchestrator.tier.incumbent"
 let m_tier_greedy = Obs.Metrics.counter "orchestrator.tier.greedy"
 let m_tier_unfused = Obs.Metrics.counter "orchestrator.tier.unfused"
 let m_worker_retries = Obs.Metrics.counter "orchestrator.worker_retries"
+
+(* Memory-planner gauges: set once per orchestration from the stitched
+   plan's {!Runtime.Memplan} analysis, next to the latency metrics. *)
+let g_mem_peak = Obs.Metrics.gauge "memplan.peak_bytes"
+let g_mem_no_reuse = Obs.Metrics.gauge "memplan.no_reuse_bytes"
+let g_mem_live_peak = Obs.Metrics.gauge "memplan.live_peak_bytes"
+let g_mem_slots = Obs.Metrics.gauge "memplan.slots"
+let g_mem_reuse_ratio = Obs.Metrics.gauge "memplan.reuse_ratio"
 
 let tier_counter = function
   | Optimal -> m_tier_optimal
@@ -693,6 +705,17 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
           Obs.Span.with_ ~name:"stitch" (fun () -> stitch g results))
     in
     let plan = Runtime.Plan.make kernels in
+    let memory =
+      Runtime.Memplan.stats
+        (Runtime.Memplan.analyze
+           ~bytes_per_element:(Gpu.Precision.bytes_per_element cfg.precision)
+           graph plan)
+    in
+    Obs.Metrics.set g_mem_peak (float_of_int memory.Runtime.Memplan.peak_bytes);
+    Obs.Metrics.set g_mem_no_reuse (float_of_int memory.Runtime.Memplan.no_reuse_bytes);
+    Obs.Metrics.set g_mem_live_peak (float_of_int memory.Runtime.Memplan.live_peak_bytes);
+    Obs.Metrics.set g_mem_slots (float_of_int memory.Runtime.Memplan.slots);
+    Obs.Metrics.set g_mem_reuse_ratio memory.Runtime.Memplan.reuse_ratio;
     let degraded_segments =
       List.filter_map
         (fun r -> if tier_is_degraded r.outcome.tier then Some r.seg_index else None)
@@ -741,6 +764,7 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
           (fun r ->
             if r.id_stats.Kernel_identifier.states_truncated then Some r.seg_index else None)
           results;
+      memory;
       phase_us =
         [
           ("partition", partition_us);

@@ -185,6 +185,10 @@ type result = {
   truncated_segments : int list;
       (** indices of segments whose state enumeration was truncated at
           [max_states]: their candidate sets are valid but incomplete *)
+  memory : Runtime.Memplan.stats;
+      (** static memory plan of the stitched plan: peak arena bytes,
+          no-reuse bytes, slot count and reuse ratio, scaled by the
+          configured precision's element width ({!Runtime.Memplan}) *)
   phase_us : (string * float) list;
       (** wall-clock spent per run-level phase, in microseconds:
           [fission] (present only via {!run}), [partition], [segments]

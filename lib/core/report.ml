@@ -1,5 +1,13 @@
 (** Human-readable orchestration reports. *)
 
+(* Render a byte count with a binary-unit suffix. *)
+let pp_bytes (b : int) : string =
+  let f = float_of_int b in
+  if f >= 1024.0 *. 1024.0 *. 1024.0 then Printf.sprintf "%.2f GiB" (f /. (1024.0 ** 3.0))
+  else if f >= 1024.0 *. 1024.0 then Printf.sprintf "%.2f MiB" (f /. (1024.0 ** 2.0))
+  else if f >= 1024.0 then Printf.sprintf "%.2f KiB" (f /. 1024.0)
+  else Printf.sprintf "%d B" b
+
 let pp_result ppf (r : Orchestrator.result) =
   Format.fprintf ppf "Korch orchestration result@.";
   Format.fprintf ppf "  primitive nodes : %d@." r.Orchestrator.prim_nodes;
@@ -13,6 +21,13 @@ let pp_result ppf (r : Orchestrator.result) =
   Format.fprintf ppf "  est. latency    : %.2f us@."
     r.Orchestrator.plan.Runtime.Plan.total_latency_us;
   Format.fprintf ppf "  sim. tuning time: %.1f s@." r.Orchestrator.tuning_time_s;
+  let m = r.Orchestrator.memory in
+  Format.fprintf ppf
+    "  memory plan     : %d tensors -> %d slots, peak %s (no-reuse %s, %.1f%% reused)@."
+    m.Runtime.Memplan.instances m.Runtime.Memplan.slots
+    (pp_bytes m.Runtime.Memplan.peak_bytes)
+    (pp_bytes m.Runtime.Memplan.no_reuse_bytes)
+    (100.0 *. m.Runtime.Memplan.reuse_ratio);
   (* Degradation-ladder summary: how many segments landed on each tier. *)
   let count t =
     List.length
@@ -130,6 +145,19 @@ let to_json ?(meta : (string * Obs.Jsonw.t) list = []) (r : Orchestrator.result)
             ] );
         ("degraded_segments", ints r.Orchestrator.degraded_segments);
         ("truncated_segments", ints r.Orchestrator.truncated_segments);
+        (* New in this revision; optional for korch-report/1 readers. *)
+        ( "memory",
+          let m = r.Orchestrator.memory in
+          Obs.Jsonw.Obj
+            [
+              ("instances", Obs.Jsonw.Int m.Runtime.Memplan.instances);
+              ("steps", Obs.Jsonw.Int m.Runtime.Memplan.steps);
+              ("slots", Obs.Jsonw.Int m.Runtime.Memplan.slots);
+              ("no_reuse_bytes", Obs.Jsonw.Int m.Runtime.Memplan.no_reuse_bytes);
+              ("peak_bytes", Obs.Jsonw.Int m.Runtime.Memplan.peak_bytes);
+              ("live_peak_bytes", Obs.Jsonw.Int m.Runtime.Memplan.live_peak_bytes);
+              ("reuse_ratio", Obs.Jsonw.Float m.Runtime.Memplan.reuse_ratio);
+            ] );
         ("time_limit_hits", Obs.Jsonw.Int r.Orchestrator.time_limit_hits);
         ("phase_us", phase_obj r.Orchestrator.phase_us);
         ( "per_segment",

@@ -1,10 +1,11 @@
 (** Human-readable orchestration reports. *)
 
 (** [pp_result ppf r] prints node/state/candidate counts, selected kernel
-    count, redundancy, estimated latency and simulated tuning time,
-    followed by the degradation-ladder summary: segments per tier, any
-    degraded or enumeration-truncated segments, and a determinism warning
-    when the BLP CPU-time safety net bound. *)
+    count, redundancy, estimated latency, simulated tuning time and the
+    static memory plan (tensors, slots, peak vs. no-reuse bytes, reuse
+    ratio), followed by the degradation-ladder summary: segments per
+    tier, any degraded or enumeration-truncated segments, and a
+    determinism warning when the BLP CPU-time safety net bound. *)
 val pp_result : Format.formatter -> Orchestrator.result -> unit
 
 (** [pp_segments ppf r] prints the per-segment outcome table: index,
@@ -20,10 +21,12 @@ val segment_table : Orchestrator.result -> string
 
 (** [to_json ?meta r] — machine-readable report, schema [korch-report/1]:
     run-level counts (primitives, states, candidates, kernels, redundancy,
-    plan latency, tuning time), the degradation-tier census, per-phase
-    wall-clock timings, one object per segment (tier, kernel/candidate
-    counts, enumeration stats, retries, fallback reason, phase timings)
-    and a {!Obs.Metrics} snapshot under ["metrics"]. [meta] adds a
+    plan latency, tuning time), the degradation-tier census, a ["memory"]
+    object with the {!Runtime.Memplan} stats of the stitched plan (an
+    optional field — pre-memplan readers of the schema ignore it),
+    per-phase wall-clock timings, one object per segment (tier,
+    kernel/candidate counts, enumeration stats, retries, fallback reason,
+    phase timings) and a {!Obs.Metrics} snapshot under ["metrics"]. [meta] adds a
     caller-supplied ["meta"] object (model name, GPU, precision, jobs…).
     The output parses back with [Onnx.Json]. *)
 val to_json : ?meta:(string * Obs.Jsonw.t) list -> Orchestrator.result -> Obs.Jsonw.t

@@ -133,3 +133,47 @@ let latency_us (cfg : config) ~(spec : Spec.t) ~(precision : Precision.t)
 (** [plan_latency_us latencies] — Eq. (2): execution strategies cost the
     sum of their kernels' latencies. *)
 let plan_latency_us (latencies : float list) = List.fold_left ( +. ) 0.0 latencies
+
+(** [workspace_bytes ~precision g members ~outputs] — modelled scratch
+    footprint of running [members] as one kernel publishing [outputs]:
+    the peak bytes of kernel-internal intermediates simultaneously live
+    during a last-use sweep over the kernel's topological order.
+    Published outputs are global memory traffic (already priced by
+    {!latency_us}), not workspace, so they are excluded. Real codegen
+    keeps many intermediates in registers/shared memory; this is a
+    deliberate materialize-everything upper bound, comparable across
+    candidates. *)
+let workspace_bytes ~(precision : Precision.t) (g : Ir.Primgraph.t)
+    (members : Ir.Bitset.t) ~(outputs : int list) : int =
+  let bytes_per = Precision.bytes_per_element precision in
+  let order = List.filter (fun id -> Ir.Bitset.mem members id) (Ir.Graph.topo_order g) in
+  let steps = List.length order in
+  let outset = Ir.Bitset.of_list (Ir.Graph.length g) outputs in
+  let idx = Hashtbl.create 16 in
+  List.iteri (fun i id -> Hashtbl.replace idx id i) order;
+  (* Last in-kernel consumer of each member (at least its own step). *)
+  let last = Hashtbl.create 16 in
+  List.iteri
+    (fun i id ->
+      if not (Hashtbl.mem last id) then Hashtbl.replace last id i;
+      List.iter
+        (fun src -> if Ir.Bitset.mem members src then Hashtbl.replace last src i)
+        (Ir.Graph.inputs g id))
+    order;
+  let delta = Array.make (steps + 1) 0 in
+  List.iteri
+    (fun i id ->
+      if not (Ir.Bitset.mem outset id) then begin
+        let b = Tensor.Shape.numel (Ir.Graph.shape g id) * bytes_per in
+        delta.(i) <- delta.(i) + b;
+        let d = Hashtbl.find last id in
+        if d + 1 <= steps then delta.(d + 1) <- delta.(d + 1) - b
+      end)
+    order;
+  let live = ref 0 and peak = ref 0 in
+  Array.iter
+    (fun d ->
+      live := !live + d;
+      if !live > !peak then peak := !live)
+    delta;
+  !peak

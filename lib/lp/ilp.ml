@@ -22,7 +22,39 @@ type solution = {
   time_limit_hit : bool;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Numerical tolerances.                                               *)
+(*                                                                     *)
+(* Every threshold in this solver is one of the named constants below; *)
+(* do not introduce new magic literals ({!Simplex} documents its own   *)
+(* set). In particular, [feas_eps] is the single feasibility slack     *)
+(* used both to accept integral incumbents and to separate violated    *)
+(* lazy rows — the two checks must agree, or an incumbent rejected by  *)
+(* the tighter check can fail to activate any row under the looser one *)
+(* and be dropped silently.                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* An LP-relaxation value within [integrality_eps] of an integer is
+   treated as integral when choosing a branching variable. Looser than
+   [feas_eps]: simplex round-off on a long elimination chain easily
+   exceeds 1e-9 without the vertex being meaningfully fractional. *)
 let integrality_eps = 1e-6
+
+(* Constraint-feasibility slack for row checks: accepting a candidate
+   incumbent, validating a warm start, and deciding whether an inactive
+   lazy row is violated by a (possibly fractional) point. *)
+let feas_eps = 1e-9
+
+(* Coefficients (and homogeneous right-hand sides) with magnitude at most
+   [zero_eps] are structurally zero: used to detect trivially-empty
+   reduced rows and to recognize the homogeneous [>= 0] dependency rows
+   eligible for lazy activation. *)
+let zero_eps = 1e-12
+
+(* A new incumbent must beat the old one by at least [improve_eps]
+   (before the user-supplied gaps) for a node bound to stay interesting;
+   prevents re-exploring ties produced by round-off. *)
+let improve_eps = 1e-9
 
 (* Build the reduced LP where variables in [fixed] (>= 0) are substituted. *)
 let reduced_lp_rows (minimize : float array)
@@ -48,13 +80,13 @@ let reduced_lp_rows (minimize : float array)
           if fixed.(j) = 1 then b' := !b' -. coeffs.(j)
         done;
         let row = Array.init nf (fun i -> coeffs.(free.(i))) in
-        let trivially_zero = Array.for_all (fun v -> Float.abs v < 1e-12) row in
+        let trivially_zero = Array.for_all (fun v -> Float.abs v < zero_eps) row in
         if trivially_zero then begin
           let ok =
             match rel with
-            | Simplex.Ge -> 0.0 >= !b' -. 1e-9
-            | Le -> 0.0 <= !b' +. 1e-9
-            | Eq -> Float.abs !b' <= 1e-9
+            | Simplex.Ge -> 0.0 >= !b' -. feas_eps
+            | Le -> 0.0 <= !b' +. feas_eps
+            | Eq -> Float.abs !b' <= feas_eps
           in
           if ok then None else Some (Array.make nf 0.0, Simplex.Eq, 1.0)
         end
@@ -74,9 +106,9 @@ let is_feasible_binary (p : problem) (x : int array) : bool =
       let lhs = ref 0.0 in
       Array.iteri (fun j c -> lhs := !lhs +. (c *. float_of_int x.(j))) coeffs;
       match rel with
-      | Simplex.Ge -> !lhs >= b -. 1e-9
-      | Le -> !lhs <= b +. 1e-9
-      | Eq -> Float.abs (!lhs -. b) <= 1e-9)
+      | Simplex.Ge -> !lhs >= b -. feas_eps
+      | Le -> !lhs <= b +. feas_eps
+      | Eq -> Float.abs (!lhs -. b) <= feas_eps)
     p.rows
 
 let objective_of (p : problem) (x : int array) : float =
@@ -134,7 +166,7 @@ let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_g
   let row_active =
     Array.map
       (fun (_, rel, b) ->
-        not (lazy_dependencies && rel = Simplex.Ge && Float.abs b <= 1e-12))
+        not (lazy_dependencies && rel = Simplex.Ge && Float.abs b <= zero_eps))
       all_rows
   in
   let pool_version = ref 0 in
@@ -157,11 +189,13 @@ let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_g
         if not row_active.(i) then begin
           let lhs = ref 0.0 in
           Array.iteri (fun j c -> lhs := !lhs +. (c *. x.(j))) coeffs;
+          (* Same [feas_eps] as [is_feasible_binary]: a rejected incumbent
+             must always find at least one violated row to activate. *)
           let ok =
             match rel with
-            | Simplex.Ge -> !lhs >= b -. 1e-7
-            | Le -> !lhs <= b +. 1e-7
-            | Eq -> Float.abs (!lhs -. b) <= 1e-7
+            | Simplex.Ge -> !lhs >= b -. feas_eps
+            | Le -> !lhs <= b +. feas_eps
+            | Eq -> Float.abs (!lhs -. b) <= feas_eps
           in
           if not ok then out := i :: !out
         end)
@@ -230,7 +264,7 @@ let solve ?(time_limit_s = 60.0) ?(max_nodes = 200_000) ?(rel_gap = 0.0) ?(abs_g
         let prune_threshold =
           if Float.is_finite !incumbent_obj then
             !incumbent_obj
-            -. Float.max 1e-9 (Float.max abs_gap (rel_gap *. Float.abs !incumbent_obj))
+            -. Float.max improve_eps (Float.max abs_gap (rel_gap *. Float.abs !incumbent_obj))
           else Float.infinity
         in
         if bound < prune_threshold then begin

@@ -16,7 +16,46 @@ type solution = { x : float array; objective : float }
 
 type outcome = Optimal of solution | Infeasible | Unbounded
 
-let eps = 1e-9
+(* ------------------------------------------------------------------ *)
+(* Numerical tolerances.                                               *)
+(*                                                                     *)
+(* Every threshold in this solver is one of the named constants below; *)
+(* do not introduce new magic literals. The {!Ilp} layer has its own   *)
+(* (documented) set; keep the two in sync when changing semantics.     *)
+(* ------------------------------------------------------------------ *)
+
+(* Tableau entries with magnitude <= [pivot_eps] are numerical dust left
+   by earlier eliminations: they are never used as pivot or ratio-test
+   denominators, and row elimination skips them (explicitly zeroing the
+   pivot-column entry) instead of performing a full O(total) row update
+   that would smear the dust back across cleaned entries. *)
+let pivot_eps = 1e-9
+
+(* A column prices in only when its reduced cost is below [-price_eps];
+   anything closer to zero is treated as optimal to avoid stalling on
+   round-off. *)
+let price_eps = 1e-9
+
+(* Slack used when comparing ratio-test ratios (and breaking ties via
+   Bland's rule). *)
+let ratio_eps = 1e-9
+
+(* A right-hand side with |b| <= [rhs_eps] is treated as exactly zero
+   when choosing the initial basis (a [>=] row with zero RHS can make its
+   surplus basic instead of spending an artificial). *)
+let rhs_eps = 1e-9
+
+(* Phase 1 declares the problem feasible when the residual artificial
+   mass is at most [feas_eps]. Looser than [pivot_eps]: the sum of m
+   artificial values accumulates m rows' worth of elimination error. *)
+let feas_eps = 1e-6
+
+(* Minimum magnitude of an entry used to pivot a degenerate basic
+   artificial out of the basis after phase 1. Deliberately looser than
+   [pivot_eps]: pivoting on a barely-nonzero element is numerically
+   dangerous, and a row whose entries are all below this is redundant
+   and safely left with its artificial basic at value 0. *)
+let drive_out_eps = 1e-7
 
 (* The tableau holds [m] constraint rows in equality form over columns
    [0 .. total_cols-1] plus the RHS column; [basis.(r)] is the column basic
@@ -38,12 +77,16 @@ let pivot (t : tableau) ~(row : int) ~(col : int) =
   for i = 0 to t.m - 1 do
     if i <> row then begin
       let f = t.a.(i).(col) in
-      if Float.abs f > 0.0 then begin
+      if Float.abs f > pivot_eps then begin
         let ai = t.a.(i) in
         for j = 0 to t.total do
           ai.(j) <- ai.(j) -. (f *. arow.(j))
         done
       end
+      else if f <> 0.0 then
+        (* Dust: skip the full row update, but restore the unit-column
+           invariant so the dust cannot re-contaminate later pivots. *)
+        t.a.(i).(col) <- 0.0
     end
   done;
   t.basis.(row) <- col
@@ -58,12 +101,17 @@ let run_phase (t : tableau) : [ `Optimal | `Unbounded ] =
   (* Make reduced costs of basic columns zero. *)
   for r = 0 to t.m - 1 do
     let cb = z.(t.basis.(r)) in
-    if Float.abs cb > 0.0 then begin
+    if Float.abs cb > pivot_eps then begin
       let ar = t.a.(r) in
       for j = 0 to t.total do
         z.(j) <- z.(j) -. (cb *. ar.(j))
       done
     end
+    else if cb <> 0.0 then
+      (* Dust: the basic column's reduced cost must be zero; zero it
+         directly instead of eliminating a negligible multiple of the
+         whole row. *)
+      z.(t.basis.(r)) <- 0.0
   done;
   let iter = ref 0 in
   let max_dantzig = 20 * (t.m + t.total) in
@@ -74,10 +122,10 @@ let run_phase (t : tableau) : [ `Optimal | `Unbounded ] =
     (* Entering column: most negative reduced cost (Dantzig), or first
        negative (Bland) once the iteration budget suggests cycling. *)
     let enter = ref (-1) in
-    let best = ref (-.eps) in
+    let best = ref (-.price_eps) in
     (try
        for j = 0 to t.total - 1 do
-         if z.(j) < -.eps then
+         if z.(j) < -.price_eps then
            if bland then begin
              enter := j;
              raise Exit
@@ -96,11 +144,11 @@ let run_phase (t : tableau) : [ `Optimal | `Unbounded ] =
       let best_ratio = ref Float.infinity in
       for i = 0 to t.m - 1 do
         let aij = t.a.(i).(col) in
-        if aij > eps then begin
+        if aij > pivot_eps then begin
           let ratio = t.a.(i).(t.total) /. aij in
           if
-            ratio < !best_ratio -. eps
-            || (ratio < !best_ratio +. eps && !leave >= 0
+            ratio < !best_ratio -. ratio_eps
+            || (ratio < !best_ratio +. ratio_eps && !leave >= 0
                 && t.basis.(i) < t.basis.(!leave))
           then begin
             best_ratio := ratio;
@@ -137,7 +185,7 @@ let solve (p : problem) : outcome =
     let rel = if sign_neg then (match rel with Ge -> Le | Le -> Ge | Eq -> Eq) else rel in
     let rhs = Float.abs b in
     ignore coeffs;
-    match rel with Le -> false | Eq -> true | Ge -> rhs > eps
+    match rel with Le -> false | Eq -> true | Ge -> rhs > rhs_eps
   in
   let n_artificial = Array.fold_left (fun acc r -> if needs_artificial r then acc + 1 else acc) 0 rows in
   let total = n + m + n_artificial in
@@ -161,7 +209,7 @@ let solve (p : problem) : outcome =
       (* Choose initial basis: slack if it can be basic with value >= 0. *)
       match rel with
       | Le -> basis.(i) <- n + i
-      | Ge when a.(i).(total) <= eps ->
+      | Ge when a.(i).(total) <= rhs_eps ->
         (* Negating the row turns the surplus coefficient positive so it
            can be basic at value 0. *)
         let r = a.(i) in
@@ -197,7 +245,7 @@ let solve (p : problem) : outcome =
               acc +. !v)
             0.0 !artificial_used
         in
-        obj <= 1e-6
+        obj <= feas_eps
     end
   in
   if not feasible then Infeasible
@@ -211,7 +259,7 @@ let solve (p : problem) : outcome =
           if t.basis.(i) = art then begin
             let found = ref false in
             for j = 0 to n + m - 1 do
-              if (not !found) && Float.abs t.a.(i).(j) > 1e-7 then begin
+              if (not !found) && Float.abs t.a.(i).(j) > drive_out_eps then begin
                 pivot t ~row:i ~col:j;
                 found := true
               end

@@ -6,13 +6,25 @@
 
 open Ir
 
+(* Escape a string for interpolation inside a DOT double-quoted label:
+   backslashes first (or escaping a quote would double-escape its own
+   backslash), then quotes, then raw newlines as DOT line breaks. *)
 let escape s =
-  String.concat "\\\"" (String.split_on_char '"' s)
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let node_label (g : Primgraph.t) (id : int) =
   Printf.sprintf "%d: %s\\n%s" id
     (escape (Primitive.to_string (Graph.op g id)))
-    (Tensor.Shape.to_string (Graph.shape g id))
+    (escape (Tensor.Shape.to_string (Graph.shape g id)))
 
 let palette =
   [| "#a6cee3"; "#b2df8a"; "#fb9a99"; "#fdbf6f"; "#cab2d6"; "#ffff99"; "#1f78b4";

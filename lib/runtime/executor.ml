@@ -4,7 +4,17 @@
     runs them against the tensor substrate. Each kernel only reads tensors
     published by earlier kernels (or graph sources) and only publishes its
     declared outputs — exactly the contract the BLP dependency constraints
-    (Eq. 4) guarantee, which this executor re-checks dynamically. *)
+    (Eq. 4) guarantee, which this executor re-checks dynamically.
+
+    With [~reuse:true], execution follows the {!Memplan} death schedule:
+    tensors are released as soon as their last reader has run, released
+    buffers are recycled (keyed by exact length — the {!Nd} substrate
+    requires storage length = element count) as destinations for later
+    elementwise/layout evaluations, and reshapes alias their argument's
+    storage zero-copy with reference counting so a shared buffer is only
+    recycled once every alias is dead. The recycled paths reuse the exact
+    scalar functions of the allocating paths, so outputs are bit-identical
+    with reuse on and off. *)
 
 open Ir
 open Tensor
@@ -13,16 +23,74 @@ exception Invalid_plan of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_plan s)) fmt
 
-(** [run g plan ~inputs] executes [plan] over primitive graph [g] and
-    returns the graph outputs in declaration order.
+(** Arena accounting for one [~reuse:true] run. *)
+type run_stats = {
+  mutable evals : int;  (** primitive evaluations performed *)
+  mutable into_evals : int;  (** evaluations written into a recycled buffer *)
+  mutable aliases : int;  (** zero-copy reshape aliases *)
+  mutable fresh_elems : int;  (** elements of freshly allocated arena arrays *)
+  mutable freed : int;  (** buffers returned to the recycle pool *)
+}
 
-    Raises {!Invalid_plan} if a kernel reads a tensor that no prior kernel
-    published, if a kernel's primitive set is not convex, or if the plan
-    finishes without publishing every graph output. *)
-let run (g : Primgraph.t) (plan : Plan.t) ~(inputs : (string * Nd.t) list) : Nd.t list =
+let fresh_stats () = { evals = 0; into_evals = 0; aliases = 0; fresh_elems = 0; freed = 0 }
+
+(* A reference-counted arena buffer. [refs] counts the instance keys
+   currently bound to this storage (aliases share it); the array returns
+   to the free pool only when the last one dies. *)
+type buf = { data : float array; mutable refs : int }
+
+let run ?(reuse = false) ?stats (g : Primgraph.t) (plan : Plan.t)
+    ~(inputs : (string * Nd.t) list) : Nd.t list =
   let n = Graph.length g in
+  (* Hoisted: one topological sort per run, not one per kernel. *)
+  let topo = Graph.topo_order g in
   (* Global environment: sources first. *)
   let global : Prim_interp.env = Prim_interp.bind_sources g ~inputs in
+  let st = match stats with Some s -> s | None -> fresh_stats () in
+  let mp = if reuse then Some (Memplan.analyze g plan) else None in
+  (* Arena state: live buffers by instance key, free arrays by exact
+     length. Caller-owned source arrays never enter either table. *)
+  let bufs : (Memplan.key, buf) Hashtbl.t = Hashtbl.create 64 in
+  let pool : (int, float array list ref) Hashtbl.t = Hashtbl.create 16 in
+  let acquire len =
+    match Hashtbl.find_opt pool len with
+    | Some ({ contents = d :: rest } as r) ->
+      r := rest;
+      Some d
+    | _ -> None
+  in
+  let decref (b : buf) =
+    b.refs <- b.refs - 1;
+    if b.refs = 0 then begin
+      let len = Array.length b.data in
+      (match Hashtbl.find_opt pool len with
+      | Some r -> r := b.data :: !r
+      | None -> Hashtbl.replace pool len (ref [ b.data ]));
+      st.freed <- st.freed + 1
+    end
+  in
+  (* Bind [key] to [b], releasing whatever storage a redundant
+     republication previously bound there (no reader can hold the old
+     value between the rebinding and the kernel's publish step). *)
+  let register key b =
+    (match Hashtbl.find_opt bufs key with Some old -> decref old | None -> ());
+    Hashtbl.replace bufs key b
+  in
+  let release ~local key =
+    (match key with
+    | Memplan.Published p -> Hashtbl.remove global p
+    | Memplan.Internal (_, p) -> Hashtbl.remove local p);
+    match Hashtbl.find_opt bufs key with
+    | Some b ->
+      Hashtbl.remove bufs key;
+      decref b
+    | None -> ()
+  in
+  let step = ref 0 in
+  let after_step mp ~local =
+    List.iter (fun key -> release ~local key) mp.Memplan.deaths.(!step);
+    incr step
+  in
   List.iteri
     (fun ki (k : Plan.kernel) ->
       let members = Bitset.of_list n k.Plan.prims in
@@ -31,8 +99,14 @@ let run (g : Primgraph.t) (plan : Plan.t) ~(inputs : (string * Nd.t) list) : Nd.
       (* Local environment: the kernel recomputes all its internal prims
          from externally published tensors only. *)
       let local : Prim_interp.env = Hashtbl.create 16 in
+      let outset = Bitset.of_list n k.Plan.outputs in
+      let key_of p =
+        if Bitset.mem outset p then Memplan.Published p else Memplan.Internal (ki, p)
+      in
       let ordered =
-        List.filter (fun id -> Bitset.mem members id) (Graph.topo_order g)
+        match mp with
+        | Some mp -> mp.Memplan.order.(ki)
+        | None -> List.filter (fun id -> Bitset.mem members id) topo
       in
       List.iter
         (fun id ->
@@ -51,7 +125,50 @@ let run (g : Primgraph.t) (plan : Plan.t) ~(inputs : (string * Nd.t) list) : Nd.
                     fail "kernel %d reads tensor %d that no prior kernel published" (ki + 1) i)
               nd.Graph.inputs
           in
-          Hashtbl.replace local id (Prim_interp.eval_prim nd.Graph.op args))
+          st.evals <- st.evals + 1;
+          let v =
+            match mp with
+            | None -> Prim_interp.eval_prim nd.Graph.op args
+            | Some _ -> begin
+              match (nd.Graph.op, args, nd.Graph.inputs) with
+              | Primitive.Reshape s, [ x ], [ src ] ->
+                (* Zero-copy alias: same storage, new shape. The alias
+                   holds a reference on the source's buffer (if arena-
+                   managed) so the storage outlives both keys. *)
+                let v = Nd.of_array s x.Nd.data in
+                (match
+                   Hashtbl.find_opt bufs
+                     (if Bitset.mem members src then key_of src else Memplan.Published src)
+                 with
+                | Some b ->
+                  b.refs <- b.refs + 1;
+                  register (key_of id) b
+                | None -> ());
+                st.aliases <- st.aliases + 1;
+                v
+              | _ ->
+                let adopt v =
+                  register (key_of id) { data = v.Nd.data; refs = 1 };
+                  st.fresh_elems <- st.fresh_elems + Nd.numel v;
+                  v
+                in
+                if Prim_interp.supports_into nd.Graph.op args then begin
+                  match acquire (Shape.numel nd.Graph.shape) with
+                  | Some dst -> begin
+                    match Prim_interp.eval_prim_into nd.Graph.op args ~dst with
+                    | Some v ->
+                      register (key_of id) { data = dst; refs = 1 };
+                      st.into_evals <- st.into_evals + 1;
+                      v
+                    | None -> adopt (Prim_interp.eval_prim nd.Graph.op args)
+                  end
+                  | None -> adopt (Prim_interp.eval_prim nd.Graph.op args)
+                end
+                else adopt (Prim_interp.eval_prim nd.Graph.op args)
+            end
+          in
+          Hashtbl.replace local id v;
+          match mp with Some mp -> after_step mp ~local | None -> ())
         ordered;
       (* Publish declared outputs. *)
       List.iter
@@ -59,7 +176,8 @@ let run (g : Primgraph.t) (plan : Plan.t) ~(inputs : (string * Nd.t) list) : Nd.
           match Hashtbl.find_opt local o with
           | Some v -> Hashtbl.replace global o v
           | None -> fail "kernel %d declares output %d it did not compute" (ki + 1) o)
-        k.Plan.outputs)
+        k.Plan.outputs;
+      match mp with Some mp -> after_step mp ~local | None -> ())
     plan.Plan.kernels;
   List.map
     (fun o ->

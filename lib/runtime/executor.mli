@@ -11,13 +11,40 @@ open Tensor
 
 exception Invalid_plan of string
 
+(** Arena accounting for one [~reuse:true] run. All zero when reuse is
+    off (except [evals], which still counts primitive evaluations if a
+    record is supplied). *)
+type run_stats = {
+  mutable evals : int;  (** primitive evaluations performed *)
+  mutable into_evals : int;  (** evaluations written into a recycled buffer *)
+  mutable aliases : int;  (** zero-copy reshape aliases *)
+  mutable fresh_elems : int;  (** elements of freshly allocated arena arrays *)
+  mutable freed : int;  (** buffers returned to the recycle pool *)
+}
+
+val fresh_stats : unit -> run_stats
+
 (** [run g plan ~inputs] executes [plan] over primitive graph [g] and
     returns the graph outputs in declaration order.
+
+    With [~reuse:true] the executor follows the {!Memplan} death
+    schedule: tensors are released at their last use, elementwise and
+    transpose/slice primitives evaluate into recycled buffers, and
+    reshape aliases its argument zero-copy under reference counting.
+    Outputs are bit-identical to [~reuse:false] — the recycled paths use
+    the exact scalar functions of the allocating paths. [?stats], when
+    supplied, is filled with arena accounting for the run.
 
     Raises {!Invalid_plan} if a kernel reads a tensor no prior kernel
     published, a kernel's primitive set is not convex, or the plan ends
     without publishing every graph output. *)
-val run : Primgraph.t -> Plan.t -> inputs:(string * Nd.t) list -> Nd.t list
+val run :
+  ?reuse:bool ->
+  ?stats:run_stats ->
+  Primgraph.t ->
+  Plan.t ->
+  inputs:(string * Nd.t) list ->
+  Nd.t list
 
 (** [validate g plan] — the same checks as {!run} (plus id-range checks),
     statically, without executing any tensor computation. *)

@@ -70,6 +70,86 @@ let eval_prim (p : Primitive.t) (args : Nd.t list) : Nd.t =
   | Upsample scale -> Ops_linear.upsample_nearest2d (one ()) ~scale
   | Opaque name -> raise (Unsupported ("opaque primitive " ^ name))
 
+(* ------------------------------------------------------------------ *)
+(* Destination-passing evaluation (buffer reuse)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The scalar function a unary primitive applies. These are the exact
+   {!Ops_elementwise.Scalar} closures the allocating path in [eval_prim]
+   uses, so evaluating into a recycled buffer is bit-identical by
+   construction. *)
+let unary_scalar : Primitive.unary -> float -> float =
+  let module S = Ops_elementwise.Scalar in
+  function
+  | Exp -> S.exp
+  | Log -> S.log
+  | Sqrt -> S.sqrt
+  | Rsqrt -> fun x -> S.reciprocal (S.sqrt x)
+  | Neg -> S.neg
+  | Abs -> S.abs
+  | Square -> S.square
+  | Reciprocal -> S.reciprocal
+  | Relu -> S.relu
+  | LeakyRelu a -> S.leaky_relu a
+  | Sigmoid -> S.sigmoid
+  | Silu -> S.silu
+  | Mish -> S.mish
+  | Tanh -> S.tanh
+  | Erf -> S.erf
+  | Gelu -> S.gelu
+  | AddConst c -> S.add_const c
+  | MulConst c -> S.mul_const c
+  | PowConst c -> S.pow_const c
+  | Clip (lo, hi) -> S.clip lo hi
+
+let binary_scalar : Primitive.binary -> float -> float -> float =
+  let module S = Ops_elementwise.Scalar in
+  function
+  | Add -> S.add
+  | Sub -> S.sub
+  | Mul -> S.mul
+  | Div -> S.div
+  | Max -> S.maximum
+  | Min -> S.minimum
+  | Pow -> S.pow
+
+(** [supports_into p args] — can [eval_prim_into] evaluate [p] on [args]
+    into a caller-supplied buffer? True for unary elementwise, binary
+    elementwise without broadcasting, transpose and slice. *)
+let supports_into (p : Primitive.t) (args : Nd.t list) : bool =
+  match (p, args) with
+  | Primitive.Unary _, [ _ ] -> true
+  | Primitive.Binary _, [ x; y ] -> Shape.equal (Nd.shape x) (Nd.shape y)
+  | Primitive.Transpose _, [ _ ] | Primitive.Slice _, [ _ ] -> true
+  | _ -> false
+
+(* Materialize a strided view into [dst] in row-major order — a pure
+   element copy, so the result equals the dense Ops_layout path bit for
+   bit. *)
+let view_into (v : View.t) ~(dst : float array) : Nd.t =
+  let n = View.numel v in
+  if Array.length dst <> n then invalid_arg "prim_interp: view_into length mismatch";
+  for k = 0 to n - 1 do
+    dst.(k) <- View.get_linear v k
+  done;
+  Nd.of_array (View.shape v) dst
+
+(** [eval_prim_into p args ~dst] evaluates [p] into the recycled buffer
+    [dst] (which becomes the result's storage) when {!supports_into}
+    holds, producing exactly the floats [eval_prim] would. Returns [None]
+    for primitives without a destination-passing path — the caller falls
+    back to [eval_prim]. *)
+let eval_prim_into (p : Primitive.t) (args : Nd.t list) ~(dst : float array) : Nd.t option =
+  match (p, args) with
+  | Primitive.Unary u, [ x ] -> Some (Ops_elementwise.map_into (unary_scalar u) x ~dst)
+  | Primitive.Binary b, [ x; y ] when Shape.equal (Nd.shape x) (Nd.shape y) ->
+    Some (Ops_elementwise.map2_into (binary_scalar b) x y ~dst)
+  | Primitive.Transpose perm, [ x ] ->
+    Some (view_into (View.transpose (View.of_nd x) perm) ~dst)
+  | Primitive.Slice { starts; stops }, [ x ] ->
+    Some (view_into (View.slice (View.of_nd x) ~starts ~stops) ~dst)
+  | _ -> None
+
 type env = (int, Nd.t) Hashtbl.t
 
 (** [eval_node g env id] computes node [id] from its inputs in [env],

@@ -148,6 +148,7 @@ let test_scheduler_orders_dependencies () =
         ext_inputs = Graph.external_inputs g (Bitset.of_list n [ id ]);
         latency_us = 1.0;
         backend = Gpu.Cost_model.Tvm;
+        workspace_bytes = 0;
       }
   in
   let cands = Array.of_list (List.map cand (List.rev prims)) in
@@ -174,13 +175,13 @@ let test_scheduler_detects_deadlock () =
     Korch.Candidate.
       { members = Bitset.of_list n [ a; d ]; outputs = [ a; d ];
         ext_inputs = Graph.external_inputs g (Bitset.of_list n [ a; d ]);
-        latency_us = 1.0; backend = Gpu.Cost_model.Tvm }
+        latency_us = 1.0; backend = Gpu.Cost_model.Tvm; workspace_bytes = 0 }
   in
   let k2 =
     Korch.Candidate.
       { members = Bitset.of_list n [ b2; c ]; outputs = [ b2; c ];
         ext_inputs = Graph.external_inputs g (Bitset.of_list n [ b2; c ]);
-        latency_us = 1.0; backend = Gpu.Cost_model.Tvm }
+        latency_us = 1.0; backend = Gpu.Cost_model.Tvm; workspace_bytes = 0 }
   in
   match Korch.Scheduler.schedule g [| k1; k2 |] ~selected:[ 0; 1 ] with
   | Ok _ -> Alcotest.fail "deadlocked pair scheduled"

@@ -67,6 +67,21 @@ let test_simplex_fractional_cover () =
           ([| 1.; 0.; 1. |], Lp.Simplex.Ge, 1.) ];
     }
 
+let test_simplex_dust_coefficients () =
+  (* Coefficients of magnitude ~1e-15 are numerical dust below pivot_eps:
+     the pivot guards must skip them rather than divide by them. Before
+     the guards, `Float.abs f > 0.0` admitted these entries and a dust
+     denominator manufactured astronomically wrong bases. *)
+  check_opt "dust" 1.0
+    {
+      Lp.Simplex.minimize = [| 1.; 2. |];
+      rows =
+        [ ([| 1.; 1. |], Lp.Simplex.Ge, 1.);
+          ([| 1. +. 1e-15; 1. |], Lp.Simplex.Ge, 1.);
+          ([| 1e-15; 1. |], Lp.Simplex.Le, 5.);
+          ([| 1.; -1e-15 |], Lp.Simplex.Le, 2.) ];
+    }
+
 let test_ilp_odd_cycle () =
   let p =
     {
@@ -169,6 +184,40 @@ let prop_lp_lower_bounds_ilp =
       | _, None -> true
       | Lp.Simplex.Unbounded, _ -> false)
 
+(* Near-degenerate variants of the covering instances: every row is
+   duplicated, and the duplicate's nonzero coefficients carry ±1e-15
+   dust — strictly below every named tolerance in the solver. Exercises
+   the dust-skip pivot guards in {!Lp.Simplex} and the shared
+   feasibility epsilons in {!Lp.Ilp}: branch-and-bound must still agree
+   with the exhaustive oracle on the same perturbed instance. *)
+let near_degenerate_instance =
+  let open QCheck2.Gen in
+  let* p = random_instance in
+  let* noises = list_size (return (List.length p.Lp.Ilp.rows)) (int_range (-1) 1) in
+  let rows =
+    List.concat
+      (List.map2
+         (fun (row, rel, b) noise ->
+           let dusted =
+             Array.map
+               (fun c -> if c <> 0.0 then c +. (float_of_int noise *. 1e-15) else c)
+               row
+           in
+           [ (row, rel, b); (dusted, rel, b) ])
+         p.Lp.Ilp.rows noises)
+  in
+  return { p with Lp.Ilp.rows = rows }
+
+let prop_near_degenerate_matches_exhaustive =
+  QCheck2.Test.make ~name:"near-degenerate pivots match exhaustive" ~count:150
+    near_degenerate_instance (fun p ->
+      match (Lp.Ilp.solve ~time_limit_s:10.0 p, Lp.Exhaustive.solve p) with
+      | Some s, Some (_, obj) when s.Lp.Ilp.status = Lp.Ilp.Optimal ->
+        Float.abs (s.Lp.Ilp.objective -. obj) <= 1e-6
+      | Some s, None -> s.Lp.Ilp.status = Lp.Ilp.Infeasible
+      | Some _, Some _ -> false
+      | None, _ -> false)
+
 let prop_solution_is_feasible =
   QCheck2.Test.make ~name:"returned assignments satisfy all rows" ~count:150 random_instance
     (fun p ->
@@ -186,7 +235,8 @@ let () =
           Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
           Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
           Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
-          Alcotest.test_case "fractional cover" `Quick test_simplex_fractional_cover ] );
+          Alcotest.test_case "fractional cover" `Quick test_simplex_fractional_cover;
+          Alcotest.test_case "dust coefficients" `Quick test_simplex_dust_coefficients ] );
       ( "ilp",
         [ Alcotest.test_case "odd cycle" `Quick test_ilp_odd_cycle;
           Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
@@ -194,6 +244,7 @@ let () =
           Alcotest.test_case "exhaustive known" `Quick test_exhaustive_matches_known ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_ilp_matches_exhaustive; prop_lp_lower_bounds_ilp; prop_solution_is_feasible ]
+          [ prop_ilp_matches_exhaustive; prop_lp_lower_bounds_ilp; prop_solution_is_feasible;
+            prop_near_degenerate_matches_exhaustive ]
       );
     ]

@@ -176,6 +176,26 @@ let test_dot_plan_clusters () =
         (contains ~needle:(Printf.sprintf "cluster_k%d" i) dot))
     plan.Runtime.Plan.kernels
 
+let test_dot_hostile_labels () =
+  (* Operator names flow into DOT labels verbatim; quotes, backslashes
+     and newlines must come out escaped or the emitted file is invalid
+     (or worse, label text escapes into attribute position). *)
+  let b = Primgraph.B.create () in
+  let x = Primgraph.B.input b "x" [| 2 |] in
+  let o = Primgraph.B.add_raw b (Primitive.Opaque "a\"b\\c\nd") [ x ] [| 2 |] in
+  Primgraph.B.set_outputs b [ o ];
+  let g = Primgraph.B.finish b in
+  let dot = Runtime.Dot_export.graph_to_dot g in
+  Alcotest.(check bool) "quote escaped" true (contains ~needle:"a\\\"b" dot);
+  Alcotest.(check bool) "backslash escaped" true (contains ~needle:"\\\\c" dot);
+  Alcotest.(check bool) "newline escaped" true (contains ~needle:"\\nd" dot);
+  Alcotest.(check bool) "no raw quote run" false (contains ~needle:"a\"b" dot);
+  Alcotest.(check bool) "no raw newline in label" false (contains ~needle:"c\nd" dot);
+  (* The plan exporter uses the same label path. *)
+  let plan = Runtime.Plan.make [ kernel [ o ] [ o ] ] in
+  let pdot = Runtime.Dot_export.plan_to_dot g plan in
+  Alcotest.(check bool) "plan labels escaped too" true (contains ~needle:"a\\\"b" pdot)
+
 let test_dot_redundant_copies () =
   let g, f, g1, g2, k = diamond () in
   let plan =
@@ -207,5 +227,6 @@ let () =
       ( "dot",
         [ Alcotest.test_case "graph" `Quick test_dot_graph;
           Alcotest.test_case "plan clusters" `Quick test_dot_plan_clusters;
+          Alcotest.test_case "hostile labels" `Quick test_dot_hostile_labels;
           Alcotest.test_case "redundant copies" `Quick test_dot_redundant_copies ] );
     ]
