@@ -11,6 +11,10 @@
    A baseline entry without the (newer) "peak_mem_bytes" field skips the
    memory check for that entry with a note telling the operator how to
    refresh — an old-but-valid baseline must not turn into a bare failure.
+   Likewise, korch-report/1 documents now carry an optional "analysis"
+   object (the static-analysis outcome); a bench document or entry that
+   embeds one is noted and ignored — the lint gate is @analyze's job,
+   never this gate's.
 
    Exit codes: 0 OK, 1 regression or missing entry, 2 usage/parse error. *)
 
@@ -59,6 +63,11 @@ let entries_of path (j : Onnx.Json.t) : entry list =
   (match Onnx.Json.member "schema" j with
   | Some (Onnx.Json.Str "korch-bench/1") -> ()
   | _ -> fail "missing or unsupported \"schema\" (want korch-bench/1)");
+  (match Onnx.Json.member "analysis" j with
+  | Some _ ->
+    Printf.printf
+      "note       %-40s document embeds an \"analysis\" block — informational, ignored\n" path
+  | None -> ());
   match Onnx.Json.member "entries" j with
   | Some (Onnx.Json.List l) ->
     List.map
@@ -76,10 +85,17 @@ let entries_of path (j : Onnx.Json.t) : entry list =
         let opt_num k =
           match Onnx.Json.member k e with Some (Onnx.Json.Num n) -> Some n | _ -> None
         in
+        let key =
+          Printf.sprintf "%s/%s/%s/%s" (str "experiment") (str "model") (str "gpu")
+            (str "precision")
+        in
+        (match Onnx.Json.member "analysis" e with
+        | Some _ ->
+          Printf.printf
+            "note       %-40s embeds an \"analysis\" block — informational, ignored\n" key
+        | None -> ());
         {
-          key =
-            Printf.sprintf "%s/%s/%s/%s" (str "experiment") (str "model") (str "gpu")
-              (str "precision");
+          key;
           latency_us = num "latency_us";
           kernels = int_of_float (num "kernels");
           peak_mem_bytes = opt_num "peak_mem_bytes";

@@ -6,7 +6,8 @@
      korch compare -m MODEL [...]       Korch vs all fusion baselines
      korch export -m MODEL -o FILE      write the model as ONNX-JSON
      korch run FILE                     optimize + execute an ONNX-JSON graph
-     korch check [-m MODEL | FILE]      static verification of every pipeline stage *)
+     korch check [-m MODEL | FILE]      static verification of every pipeline stage
+     korch analyze [-m MODEL | FILE]    abstract-interpretation lint (korch-lint/1) *)
 
 open Cmdliner
 
@@ -112,7 +113,7 @@ let inject_conv =
 let inject_arg =
   let doc =
     "Inject a deterministic synthetic fault at SITE \
-     (profiler|ilp_solve|enumerate|transform|worker|onnx_parse) according to SPEC \
+     (profiler|ilp_solve|enumerate|transform|worker|onnx_parse|analysis) according to SPEC \
      ($(b,always), $(b,nth=K) for the K-th call, or $(b,p=P) for seeded probability P). \
      Repeatable. The orchestrator degrades the affected segment down its fallback ladder \
      instead of failing; the per-segment outcome table shows where each landed."
@@ -296,7 +297,7 @@ let print_report ~verbose title report =
   Printf.printf "%-22s %d error(s), %d warning(s), %d info\n" title e w i;
   List.iter (fun d -> Format.printf "  %a@." Verify.Diagnostics.pp_diag d) shown
 
-let check_action model file gpu precision batch small window jobs rules verbose =
+let check_action model file gpu precision batch small window jobs rules lint_seed verbose =
   let g =
     match (model, file) with
     | Some m, None -> build_graph (find_model m) ~small ~batch
@@ -343,7 +344,7 @@ let check_action model file gpu precision batch small window jobs rules verbose 
   | exception Korch.Orchestrator.Orchestration_failed e ->
     failed := true;
     Printf.printf "orchestration failed: %s\n" (Korch.Orchestrator.Error.to_string e));
-  if rules then stage "rewrite rules" (Verify.lint_rules ());
+  if rules then stage "rewrite rules" (Verify.lint_rules ~seed:lint_seed ());
   if !failed then begin
     print_endline "check: FAILED";
     exit 1
@@ -363,13 +364,130 @@ let check_cmd =
     Arg.(value & flag & info [ "rules" ]
            ~doc:"Also lint every fission and transformation rewrite rule.")
   in
+  let lint_seed =
+    Arg.(value & opt int 0x5eed & info [ "lint-seed" ] ~docv:"N"
+           ~doc:"Seed for the rewrite-rule linter's random pattern instances (with \
+                 $(b,--rules)). CI rotates this so successive runs exercise fresh \
+                 instances.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Statically verify a model end to end: operator graph, fissioned \
              primitive graph, stitched graph and kernel plan")
     Term.(
       const check_action $ model $ file $ gpu_arg $ precision_arg $ batch_arg $ small_arg
-      $ window_arg $ jobs_arg $ rules $ verbose_arg)
+      $ window_arg $ jobs_arg $ rules $ lint_seed $ verbose_arg)
+
+(* ------------------------ analyze ----------------------- *)
+
+let analyze_action model file gpu precision batch small window jobs with_plan json output
+    verbose =
+  let g, source =
+    match (model, file) with
+    | Some m, None -> (build_graph (find_model m) ~small ~batch, m)
+    | None, Some f -> begin
+      let ic = open_in f in
+      let len = in_channel_length ic in
+      let doc = really_input_string ic len in
+      close_in ic;
+      match Onnx.Deserialize.opgraph_of_string doc with
+      | g -> (g, Filename.basename f)
+      | exception Onnx.Deserialize.Format_error m ->
+        Printf.eprintf "%s: %s\n" f m;
+        exit 1
+    end
+    | _ ->
+      prerr_endline "analyze: specify exactly one of -m MODEL or a FILE argument";
+      exit 2
+  in
+  let pg, _ = Fission.Engine.run g in
+  let bytes_per_element = Gpu.Precision.bytes_per_element precision in
+  let report = Analysis.graph_report ~bytes_per_element pg in
+  let report =
+    if not with_plan then report
+    else begin
+      (* Orchestrate with the built-in invariant checks off so a hazard
+         surfaces as a printed finding rather than an exception. *)
+      let cfg =
+        { (config ~spec:gpu ~precision ~window ~jobs) with
+          Korch.Orchestrator.check_invariants = false }
+      in
+      let r = Korch.Orchestrator.run_primgraph cfg pg in
+      let mp =
+        Runtime.Memplan.analyze ~bytes_per_element r.Korch.Orchestrator.graph
+          r.Korch.Orchestrator.plan
+      in
+      report
+      @ Analysis.plan_report ~bytes_per_element r.Korch.Orchestrator.graph
+          r.Korch.Orchestrator.plan mp
+    end
+  in
+  let doc =
+    Analysis.Lint.json_string
+      ~meta:
+        [
+          ("source", Obs.Jsonw.Str source);
+          ("precision", Obs.Jsonw.Str (Gpu.Precision.to_string precision));
+          ("batch", Obs.Jsonw.Int batch);
+          ("plan_checked", Obs.Jsonw.Bool with_plan);
+        ]
+      report
+  in
+  (match output with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc doc;
+    close_out oc;
+    Printf.eprintf "wrote findings to %s\n%!" path
+  | None -> ());
+  if json then print_endline doc
+  else begin
+    let shown =
+      if verbose then report
+      else
+        List.filter
+          (fun (d : Verify.Diagnostics.diag) ->
+            d.Verify.Diagnostics.severity <> Verify.Diagnostics.Info)
+          report
+    in
+    List.iter (fun d -> Format.printf "  %a@." Verify.Diagnostics.pp_diag d) shown;
+    let e, w, i = Verify.Diagnostics.count_severity report in
+    Printf.printf "analyze %s: %d error(s), %d warning(s), %d info\n" source e w i
+  end;
+  if Analysis.Lint.exceeds_warning report then exit 1
+
+let analyze_cmd =
+  let model =
+    Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"MODEL"
+           ~doc:"Zoo model to analyze (see `korch list').")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"ONNX-JSON operator graph to analyze instead of a zoo model.")
+  in
+  let with_plan =
+    Arg.(value & flag & info [ "plan" ]
+           ~doc:"Also orchestrate the model and run the memory-planner hazard \
+                 cross-check on the resulting plan.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Also write the korch-lint/1 JSON findings document to FILE.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the korch-lint/1 JSON findings document on stdout instead of \
+                 the text listing.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Lint a model with the abstract-interpretation analyses: value ranges \
+             (div-by-zero, log/sqrt domain, exp overflow), dead code, and optionally \
+             the memory-planner hazard cross-check. Exits 1 on any finding above \
+             warning.")
+    Term.(
+      const analyze_action $ model $ file $ gpu_arg $ precision_arg $ batch_arg $ small_arg
+      $ window_arg $ jobs_arg $ with_plan $ json $ output $ verbose_arg)
 
 (* -------------------------- run ------------------------- *)
 
@@ -508,4 +626,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; optimize_cmd; compare_cmd; export_cmd; run_cmd; check_cmd ]))
+       (Cmd.group info
+          [ list_cmd; optimize_cmd; compare_cmd; export_cmd; run_cmd; check_cmd; analyze_cmd ]))

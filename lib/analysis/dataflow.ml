@@ -1,0 +1,88 @@
+(** Generic monotone dataflow solvers (see the interface). Both solvers
+    run a worklist seeded in topological order (forward) or reverse
+    topological order (backward), so on a DAG each converges in one
+    sweep; widening guards termination should a cyclic IR ever feed
+    them. *)
+
+open Ir
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val to_string : t -> string
+end
+
+(* Shared worklist engine: [seed] is the initial processing order,
+   [deps_out i] lists the nodes whose fact must be recomputed when [i]'s
+   fact changes, [compute i] produces node [i]'s new fact from the
+   current state. *)
+let fixpoint (type a) ~(n : int) ~(bottom : a) ~(equal : a -> a -> bool)
+    ~(widen : a -> a -> a) ~(widen_after : int) ~(seed : int list)
+    ~(deps_out : int -> int list) ~(compute : a array -> int -> a) : a array * int =
+  let facts = Array.make n bottom in
+  let visits = Array.make n 0 in
+  let on_queue = Array.make n false in
+  let queue = Queue.create () in
+  let push i =
+    if not on_queue.(i) then begin
+      on_queue.(i) <- true;
+      Queue.add i queue
+    end
+  in
+  List.iter push seed;
+  let rounds = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    on_queue.(i) <- false;
+    incr rounds;
+    visits.(i) <- visits.(i) + 1;
+    let proposed = compute facts i in
+    let updated =
+      if visits.(i) > widen_after then widen facts.(i) proposed else proposed
+    in
+    if not (equal facts.(i) updated) then begin
+      facts.(i) <- updated;
+      List.iter push (deps_out i)
+    end
+  done;
+  (facts, !rounds)
+
+module Forward (D : DOMAIN) = struct
+  let last_sweeps = ref 0
+
+  let solve ?(widen_after = 3) (g : 'op Graph.t) ~transfer : D.t array =
+    let n = Graph.length g in
+    let succs = Graph.succs g in
+    let facts, rounds =
+      fixpoint ~n ~bottom:D.bottom ~equal:D.equal ~widen:D.widen ~widen_after
+        ~seed:(Graph.topo_order g)
+        ~deps_out:(fun i -> succs.(i))
+        ~compute:(fun facts i ->
+          transfer g i (List.map (fun p -> facts.(p)) (Graph.inputs g i)))
+    in
+    last_sweeps := (if n = 0 then 1 else (rounds + n - 1) / n);
+    facts
+
+  let sweeps () = !last_sweeps
+end
+
+module Backward (D : DOMAIN) = struct
+  let solve ?(widen_after = 3) (g : 'op Graph.t) ~init ~transfer : D.t array =
+    let n = Graph.length g in
+    let succs = Graph.succs g in
+    let facts, _rounds =
+      fixpoint ~n ~bottom:D.bottom ~equal:D.equal ~widen:D.widen ~widen_after
+        ~seed:(List.rev (Graph.topo_order g))
+        ~deps_out:(fun i -> Graph.preds g i)
+        ~compute:(fun facts i ->
+          let joined =
+            List.fold_left (fun acc s -> D.join acc facts.(s)) (init i) succs.(i)
+          in
+          transfer g i joined)
+    in
+    facts
+end

@@ -1,0 +1,62 @@
+(** Generic monotone dataflow framework over the single-output DAGs of
+    {!Ir.Graph}.
+
+    Every concrete analysis in this library — value ranges, liveness —
+    is an instantiation of one of the two solvers below with a pluggable
+    abstract domain. A domain is a join-semilattice with a widening
+    operator; the solver propagates per-node facts along (forward) or
+    against (backward) the dependency edges with a worklist seeded in
+    topological order, applying [widen] once a node has been revisited
+    more than [widen_after] times.
+
+    On a DAG the worklist converges in a single sweep, so the widening
+    machinery never fires today; it is part of the contract so the same
+    solvers keep terminating when a future IR grows loops (e.g. an
+    autoregressive decode step). *)
+
+open Ir
+
+(** A join-semilattice with widening. [bottom] is the least element
+    (used to initialise facts before any evidence arrives); [join] must
+    be monotone; [widen a b] must over-approximate [join a b] and
+    guarantee termination of any ascending chain. *)
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val to_string : t -> string
+end
+
+module Forward (D : DOMAIN) : sig
+  (** [solve ?widen_after g ~transfer] computes the least fixpoint of
+      [transfer] over [g] in dependency direction. [transfer g i facts]
+      receives the current facts of node [i]'s inputs, in argument order
+      (duplicated inputs appear duplicated), and returns the fact of
+      node [i]. Source nodes receive [[]]. The result maps node id to
+      its fixpoint fact. *)
+  val solve :
+    ?widen_after:int ->
+    'op Graph.t ->
+    transfer:('op Graph.t -> int -> D.t list -> D.t) ->
+    D.t array
+
+  (** Iterations the last {!solve} needed (diagnostic; 1 on a DAG). *)
+  val sweeps : unit -> int
+end
+
+module Backward (D : DOMAIN) : sig
+  (** [solve ?widen_after g ~init ~transfer] propagates facts against
+      the edges: [transfer g i succ_facts] receives the joined facts of
+      every consumer of node [i] plus [init i] (the fact injected at
+      node [i] itself — e.g. "is a graph output"), and returns node
+      [i]'s fact. *)
+  val solve :
+    ?widen_after:int ->
+    'op Graph.t ->
+    init:(int -> D.t) ->
+    transfer:('op Graph.t -> int -> D.t -> D.t) ->
+    D.t array
+end

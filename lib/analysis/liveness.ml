@@ -1,0 +1,70 @@
+(** Dead-tensor / dead-primitive detection.
+
+    A backward liveness analysis in the {!Dataflow} framework over the
+    two-point domain [{dead < live}]: graph outputs are seeded live and
+    liveness propagates against the dependency edges, so a node is live
+    iff some output transitively reads it. Everything else is wasted
+    work — the executor still evaluates it and the memory planner still
+    reserves arena bytes for it — so {!check} reports each dead
+    executable primitive ([Warning]) and each dead source ([Info]) with
+    the estimated bytes its result occupies. *)
+
+open Ir
+open Tensor
+module D = Verify.Diagnostics
+
+let pass = "liveness"
+
+module Dom : Dataflow.DOMAIN with type t = bool = struct
+  type t = bool
+
+  let bottom = false
+  let equal = Bool.equal
+  let join = ( || )
+  let widen = ( || )
+  let to_string b = if b then "live" else "dead"
+end
+
+module Solver = Dataflow.Backward (Dom)
+
+(** [solve g] — [true] for every node some graph output depends on. *)
+let solve (g : Primgraph.t) : bool array =
+  let is_output =
+    let a = Array.make (Graph.length g) false in
+    List.iter (fun o -> a.(o) <- true) g.Graph.outputs;
+    a
+  in
+  Solver.solve g ~init:(fun i -> is_output.(i)) ~transfer:(fun _g _i fact -> fact)
+
+(** [check ?bytes_per_element g] reports dead primitives and never-read
+    sources, with estimated wasted bytes. Never raises. *)
+let check ?(bytes_per_element = 8) (g : Primgraph.t) : D.report =
+  let live = solve g in
+  let wasted = ref 0 in
+  let findings =
+    List.filter_map
+      (fun i ->
+        if live.(i) then None
+        else begin
+          let nd = Graph.node g i in
+          let bytes = Shape.numel nd.Graph.shape * bytes_per_element in
+          let name = Primitive.to_string nd.Graph.op in
+          if Primitive.is_source nd.Graph.op then
+            Some (D.info ~pass ~loc:(D.Node i) "unused source %s (%d bytes held)" name bytes)
+          else begin
+            wasted := !wasted + bytes;
+            Some
+              (D.warning ~pass ~loc:(D.Node i)
+                 "dead primitive %s: computed but no graph output reads it (~%d wasted bytes)"
+                 name bytes)
+          end
+        end)
+      (Graph.topo_order g)
+  in
+  let n_dead = List.length (List.filter (fun d -> d.D.severity = D.Warning) findings) in
+  findings
+  @ [
+      D.info ~pass ~loc:D.Whole "liveness: %d/%d node(s) live, %d dead primitive(s), ~%d wasted bytes"
+        (Array.fold_left (fun a b -> if b then a + 1 else a) 0 live)
+        (Graph.length g) n_dead !wasted;
+    ]

@@ -1,0 +1,19 @@
+(** Dead-tensor / dead-primitive detection — backward liveness from the
+    graph outputs over the two-point domain [{dead < live}]. *)
+
+open Ir
+
+(** The {!Dataflow.DOMAIN} instance (exposed for tests and reuse). *)
+module Dom : Dataflow.DOMAIN with type t = bool
+
+(** [solve g] — [true] for every node some graph output depends on. *)
+val solve : Primgraph.t -> bool array
+
+(** Pass name used in findings (["liveness"]). *)
+val pass : string
+
+(** [check ?bytes_per_element g] reports dead executable primitives
+    ([Warning], with estimated wasted bytes at [bytes_per_element] per
+    element, default 8) and never-read sources ([Info]). Never
+    raises. *)
+val check : ?bytes_per_element:int -> Primgraph.t -> Verify.Diagnostics.report

@@ -180,6 +180,25 @@ let default_config =
     fault_seed = 1;
   }
 
+(** How the static-analysis hazard cross-check of the stitched plan's
+    memory planning fared. An analyzer {e crash} (or injected [Analysis]
+    fault) degrades to [Analysis_skipped] — the analysis is an auditor,
+    not a load-bearing stage — while a {e finding} above warning always
+    raises: a failed cross-check means reuse would corrupt tensors. *)
+type analysis_outcome =
+  | Analysis_checked of Verify.Diagnostics.report
+      (** cross-check ran; errors (none, or {!Orchestration_failed} was
+          raised), warnings and infos are all retained *)
+  | Analysis_skipped of string  (** analyzer crashed; reason recorded *)
+  | Analysis_off  (** [check_invariants] disabled *)
+
+let analysis_outcome_to_string = function
+  | Analysis_checked r ->
+    let e, w, i = Verify.Diagnostics.count_severity r in
+    Printf.sprintf "checked (%d error(s), %d warning(s), %d info(s))" e w i
+  | Analysis_skipped reason -> Printf.sprintf "skipped: %s" reason
+  | Analysis_off -> "off"
+
 type segment_result = {
   seg : Partition.segment;
   seg_index : int;
@@ -209,6 +228,8 @@ type result = {
       (** indices of segments whose state enumeration was truncated *)
   memory : Runtime.Memplan.stats;
       (** static memory plan of the stitched plan (device-precision bytes) *)
+  analysis : analysis_outcome;
+      (** hazard cross-check of the memory plan (see {!analysis_outcome}) *)
   phase_us : (string * float) list;
       (** wall-clock per run-level phase: [fission] (from {!run} only),
           [partition], [segments], [stitch], [verify], [total] *)
@@ -386,6 +407,11 @@ let g_mem_no_reuse = Obs.Metrics.gauge "memplan.no_reuse_bytes"
 let g_mem_live_peak = Obs.Metrics.gauge "memplan.live_peak_bytes"
 let g_mem_slots = Obs.Metrics.gauge "memplan.slots"
 let g_mem_reuse_ratio = Obs.Metrics.gauge "memplan.reuse_ratio"
+
+(* Static-analysis cross-check census. *)
+let m_analysis_findings_error = Obs.Metrics.counter "analysis.findings.error"
+let m_analysis_findings_warning = Obs.Metrics.counter "analysis.findings.warning"
+let m_analysis_skipped = Obs.Metrics.counter "analysis.skipped"
 
 let tier_counter = function
   | Optimal -> m_tier_optimal
@@ -705,12 +731,9 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
           Obs.Span.with_ ~name:"stitch" (fun () -> stitch g results))
     in
     let plan = Runtime.Plan.make kernels in
-    let memory =
-      Runtime.Memplan.stats
-        (Runtime.Memplan.analyze
-           ~bytes_per_element:(Gpu.Precision.bytes_per_element cfg.precision)
-           graph plan)
-    in
+    let bytes_per_element = Gpu.Precision.bytes_per_element cfg.precision in
+    let memplan = Runtime.Memplan.analyze ~bytes_per_element graph plan in
+    let memory = Runtime.Memplan.stats memplan in
     Obs.Metrics.set g_mem_peak (float_of_int memory.Runtime.Memplan.peak_bytes);
     Obs.Metrics.set g_mem_no_reuse (float_of_int memory.Runtime.Memplan.no_reuse_bytes);
     Obs.Metrics.set g_mem_live_peak (float_of_int memory.Runtime.Memplan.live_peak_bytes);
@@ -729,15 +752,36 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
           else None)
         results
     in
-    let verify_us =
-      if not cfg.check_invariants then 0.0
+    let analysis, verify_us =
+      if not cfg.check_invariants then (Analysis_off, 0.0)
       else
-        snd
-          (Obs.Clock.timed_us (fun () ->
-               Obs.Span.with_ ~name:"verify" (fun () ->
-                   enforce ~what:"stitched graph" (Verify.graph_check graph);
-                   enforce ~what:"stitched plan"
-                     (Verify.plan_check ~degraded:degraded_info graph plan))))
+        Obs.Clock.timed_us @@ fun () ->
+        Obs.Span.with_ ~name:"verify" @@ fun () ->
+        enforce ~what:"stitched graph" (Verify.graph_check graph);
+        enforce ~what:"stitched plan" (Verify.plan_check ~degraded:degraded_info graph plan);
+        (* Independent hazard cross-check of the planner's arena packing
+           (second implementation, lib/analysis). An analyzer crash — or
+           an injected [Analysis] fault — degrades to "skipped": the
+           cross-check is an auditor, not a load-bearing stage. A
+           genuine finding still raises via [enforce]. *)
+        match
+          Faults.check Faults.Analysis;
+          Analysis.Hazard.check ~bytes_per_element graph plan memplan
+        with
+        | report ->
+          let e, w, _ = Verify.Diagnostics.count_severity report in
+          Obs.Metrics.add m_analysis_findings_error e;
+          Obs.Metrics.add m_analysis_findings_warning w;
+          enforce ~what:"memory plan (hazard cross-check)" report;
+          Analysis_checked report
+        | exception Faults.Injected { site; hit } ->
+          Obs.Metrics.incr m_analysis_skipped;
+          Analysis_skipped
+            (Printf.sprintf "injected fault at %s (call %d)" (Faults.site_to_string site) hit)
+        | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+        | exception e ->
+          Obs.Metrics.incr m_analysis_skipped;
+          Analysis_skipped (Printexc.to_string e)
     in
     List.iter
       (fun r ->
@@ -765,6 +809,7 @@ let run_primgraph (cfg : config) (g : Primgraph.t) : result =
             if r.id_stats.Kernel_identifier.states_truncated then Some r.seg_index else None)
           results;
       memory;
+      analysis;
       phase_us =
         [
           ("partition", partition_us);

@@ -148,6 +148,22 @@ type config = {
 
 val default_config : config
 
+(** How the static-analysis hazard cross-check of the stitched plan's
+    memory planning fared ({!Analysis.Hazard}). An analyzer {e crash}
+    (or an injected [Faults.Analysis] fault) degrades to
+    [Analysis_skipped] with the reason recorded — the analysis is an
+    auditor, not a load-bearing stage — while a genuine {e finding}
+    raises {!Orchestration_failed}: a failed cross-check means arena
+    reuse would corrupt tensors. *)
+type analysis_outcome =
+  | Analysis_checked of Verify.Diagnostics.report
+      (** cross-check ran; the retained report has no errors (errors
+          raise) but keeps warnings and infos *)
+  | Analysis_skipped of string  (** analyzer crashed; reason recorded *)
+  | Analysis_off  (** [check_invariants] disabled *)
+
+val analysis_outcome_to_string : analysis_outcome -> string
+
 (** Per-segment solve outcome (diagnostics; the stitched plan is in
     {!type-result}). *)
 type segment_result = {
@@ -189,6 +205,9 @@ type result = {
       (** static memory plan of the stitched plan: peak arena bytes,
           no-reuse bytes, slot count and reuse ratio, scaled by the
           configured precision's element width ({!Runtime.Memplan}) *)
+  analysis : analysis_outcome;
+      (** outcome of the independent hazard cross-check of the memory
+          plan, run under [check_invariants] *)
   phase_us : (string * float) list;
       (** wall-clock spent per run-level phase, in microseconds:
           [fission] (present only via {!run}), [partition], [segments]

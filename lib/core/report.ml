@@ -28,6 +28,8 @@ let pp_result ppf (r : Orchestrator.result) =
     (pp_bytes m.Runtime.Memplan.peak_bytes)
     (pp_bytes m.Runtime.Memplan.no_reuse_bytes)
     (100.0 *. m.Runtime.Memplan.reuse_ratio);
+  Format.fprintf ppf "  hazard check    : %s@."
+    (Orchestrator.analysis_outcome_to_string r.Orchestrator.analysis);
   (* Degradation-ladder summary: how many segments landed on each tier. *)
   let count t =
     List.length
@@ -158,6 +160,22 @@ let to_json ?(meta : (string * Obs.Jsonw.t) list = []) (r : Orchestrator.result)
               ("live_peak_bytes", Obs.Jsonw.Int m.Runtime.Memplan.live_peak_bytes);
               ("reuse_ratio", Obs.Jsonw.Float m.Runtime.Memplan.reuse_ratio);
             ] );
+        (* New in this revision; optional for korch-report/1 readers. *)
+        ( "analysis",
+          match r.Orchestrator.analysis with
+          | Orchestrator.Analysis_off -> Obs.Jsonw.Obj [ ("status", Obs.Jsonw.Str "off") ]
+          | Orchestrator.Analysis_skipped reason ->
+            Obs.Jsonw.Obj
+              [ ("status", Obs.Jsonw.Str "skipped"); ("reason", Obs.Jsonw.Str reason) ]
+          | Orchestrator.Analysis_checked report ->
+            let e, w, i = Verify.Diagnostics.count_severity report in
+            Obs.Jsonw.Obj
+              [
+                ("status", Obs.Jsonw.Str "checked");
+                ("errors", Obs.Jsonw.Int e);
+                ("warnings", Obs.Jsonw.Int w);
+                ("infos", Obs.Jsonw.Int i);
+              ] );
         ("time_limit_hits", Obs.Jsonw.Int r.Orchestrator.time_limit_hits);
         ("phase_us", phase_obj r.Orchestrator.phase_us);
         ( "per_segment",

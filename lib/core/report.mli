@@ -23,7 +23,9 @@ val segment_table : Orchestrator.result -> string
     run-level counts (primitives, states, candidates, kernels, redundancy,
     plan latency, tuning time), the degradation-tier census, a ["memory"]
     object with the {!Runtime.Memplan} stats of the stitched plan (an
-    optional field — pre-memplan readers of the schema ignore it),
+    optional field — pre-memplan readers of the schema ignore it), an
+    ["analysis"] object with the hazard cross-check outcome
+    (status checked/skipped/off plus finding counts — also optional),
     per-phase wall-clock timings, one object per segment (tier,
     kernel/candidate counts, enumeration stats, retries, fallback reason,
     phase timings) and a {!Obs.Metrics} snapshot under ["metrics"]. [meta] adds a

@@ -4,9 +4,9 @@
     configuration through every signature; counters are atomics so
     worker domains draw distinct call numbers. *)
 
-type site = Profiler | Ilp_solve | Enumerate | Transform | Worker | Onnx_parse
+type site = Profiler | Ilp_solve | Enumerate | Transform | Worker | Onnx_parse | Analysis
 
-let all_sites = [ Profiler; Ilp_solve; Enumerate; Transform; Worker; Onnx_parse ]
+let all_sites = [ Profiler; Ilp_solve; Enumerate; Transform; Worker; Onnx_parse; Analysis ]
 
 let site_index = function
   | Profiler -> 0
@@ -15,8 +15,9 @@ let site_index = function
   | Transform -> 3
   | Worker -> 4
   | Onnx_parse -> 5
+  | Analysis -> 6
 
-let n_sites = 6
+let n_sites = 7
 
 let site_to_string = function
   | Profiler -> "profiler"
@@ -25,6 +26,7 @@ let site_to_string = function
   | Transform -> "transform"
   | Worker -> "worker"
   | Onnx_parse -> "onnx_parse"
+  | Analysis -> "analysis"
 
 let site_of_string s =
   List.find_opt (fun site -> site_to_string site = s) all_sites

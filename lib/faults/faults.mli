@@ -26,6 +26,7 @@ type site =
   | Transform  (** per-segment transformation search *)
   | Worker  (** a {!Parallel.Domain_pool} worker executing a task *)
   | Onnx_parse  (** {!Onnx.Deserialize} document parsing *)
+  | Analysis  (** the static-analysis cross-check of an orchestrated plan *)
 
 (** All sites, in declaration order. *)
 val all_sites : site list

@@ -252,6 +252,14 @@ let analyze ?(bytes_per_element = 8) (g : Primgraph.t) (plan : Plan.t) : t =
 
 let stats (t : t) = t.stats
 
+let slot_of (t : t) (k : key) : int option =
+  Array.fold_left
+    (fun acc (i : instance) -> if i.key = k then Some i.slot else acc)
+    None t.instances
+
+let slot_assignment (t : t) : (key * int) list =
+  Array.to_list (Array.map (fun (i : instance) -> (i.key, i.slot)) t.instances)
+
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "instances=%d steps=%d slots=%d no_reuse=%dB peak=%dB live_peak=%dB reuse=%.1f%%"

@@ -56,4 +56,15 @@ val string_of_key : key -> string
 val analyze : ?bytes_per_element:int -> Primgraph.t -> Plan.t -> t
 
 val stats : t -> stats
+
+(** [slot_of t key] — the arena slot assigned to [key], if planned.
+    Linear scan; for bulk access use {!slot_assignment}. *)
+val slot_of : t -> key -> int option
+
+(** [slot_assignment t] — the full key → slot map, in birth order.
+    Exposed so external checkers (the {!Analysis}-side hazard
+    cross-check) can audit the packing without reaching into
+    [instances]. *)
+val slot_assignment : t -> (key * int) list
+
 val pp_stats : Format.formatter -> stats -> unit

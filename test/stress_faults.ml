@@ -34,7 +34,8 @@ let inputs_of (g : Opgraph.t) =
          | Optype.Input name -> Some (name, Nd.randn (Rng.create 7) nd.Graph.shape)
          | _ -> None)
 
-let run_case ~label ?(jobs = 1) ~fault_seed faults =
+let run_case ~label ?(jobs = 1) ?(post = fun (_ : Korch.Orchestrator.result) -> None)
+    ~fault_seed faults =
   let g = graph () in
   let cfg = { Korch.Orchestrator.default_config with jobs; faults; fault_seed } in
   match Korch.Orchestrator.run cfg g with
@@ -51,7 +52,10 @@ let run_case ~label ?(jobs = 1) ~fault_seed faults =
       let ref_ = Runtime.Prim_interp.run r.Korch.Orchestrator.graph ~inputs in
       let ok = List.for_all2 (fun a b -> Nd.equal ~eps:0.0 a b) ref_ got in
       if not ok then fail_case label "plan output differs from Prim_interp"
-      else
+      else begin
+        match post r with
+        | Some msg -> fail_case label "%s" msg
+        | None ->
         Printf.printf "ok   %-28s tiers=[%s]%s\n%!" label
           (String.concat ","
              (List.map
@@ -60,6 +64,7 @@ let run_case ~label ?(jobs = 1) ~fault_seed faults =
                     s.Korch.Orchestrator.outcome.Korch.Orchestrator.tier)
                 r.Korch.Orchestrator.segments))
           (if r.Korch.Orchestrator.degraded_segments <> [] then " (degraded)" else "")
+      end
     end
 
 let orchestrated_sites =
@@ -76,10 +81,22 @@ let () =
     orchestrated_sites;
   run_case ~label:"matrix/worker:always(j=4)" ~jobs:4 ~fault_seed:1
     [ (Faults.Worker, Faults.Always) ];
+  (* The [Analysis] site must neither kill nor degrade a run: the hazard
+     cross-check is skipped and the skip is recorded in the result. *)
+  run_case ~label:"matrix/analysis:always" ~fault_seed:1
+    ~post:(fun r ->
+      match r.Korch.Orchestrator.analysis with
+      | Korch.Orchestrator.Analysis_skipped _ -> None
+      | o ->
+        Some
+          (Printf.sprintf "expected analysis skipped, got %s"
+             (Korch.Orchestrator.analysis_outcome_to_string o)))
+    [ (Faults.Analysis, Faults.Always) ];
   (* Phase 2: randomized 50-seed sweep. Policies are derived from the
      seed, so the sweep itself is reproducible run to run. *)
+  let sweep_sites = orchestrated_sites @ [ Faults.Analysis ] in
   for seed = 1 to 50 do
-    let site = List.nth orchestrated_sites (seed mod List.length orchestrated_sites) in
+    let site = List.nth sweep_sites (seed mod List.length sweep_sites) in
     let spec =
       if seed mod 3 = 0 then Faults.Nth (1 + (seed mod 7))
       else Faults.Prob (0.1 +. (float_of_int (seed mod 5) /. 10.0))
