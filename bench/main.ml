@@ -16,6 +16,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablation", "design-choice ablations", Exp_ablation.run);
     ("multistream", "multi-stream headroom (extension)", Exp_multistream.run);
     ("parallel", "multicore segment orchestration speedup", Exp_parallel.run);
+    ("native", "interpreter vs native C backend (extension)", Exp_native.run);
     ("micro", "bechamel microbenchmarks", Microbench.run);
     ("smoke", "CI bench-gate workload (fastest models)", Exp_smoke.run) ]
 

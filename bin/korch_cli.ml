@@ -113,12 +113,32 @@ let inject_conv =
 let inject_arg =
   let doc =
     "Inject a deterministic synthetic fault at SITE \
-     (profiler|ilp_solve|enumerate|transform|worker|onnx_parse|analysis) according to SPEC \
+     (profiler|ilp_solve|enumerate|transform|worker|onnx_parse|analysis|codegen_compile) \
+     according to SPEC \
      ($(b,always), $(b,nth=K) for the K-th call, or $(b,p=P) for seeded probability P). \
      Repeatable. The orchestrator degrades the affected segment down its fallback ladder \
-     instead of failing; the per-segment outcome table shows where each landed."
+     instead of failing; the per-segment outcome table shows where each landed. \
+     $(b,codegen_compile) fires in the native backend's kernel compiler: the affected \
+     kernel degrades to the interpreter, never the run."
   in
   Arg.(value & opt_all inject_conv [] & info [ "inject" ] ~docv:"SITE:SPEC" ~doc)
+
+let backend_conv =
+  let parse s =
+    match Runtime.Backend.of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S (expected interp or native)" s))
+  in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Runtime.Backend.to_string b))
+
+let backend_arg =
+  let doc =
+    "Execution backend for the stitched plan: $(b,interp) (the reference primitive \
+     interpreter) or $(b,native) (C-compiled kernels, differentially verified against the \
+     interpreter before first use, with per-kernel fallback). Defaults to $(b,KORCH_BACKEND) \
+     from the environment, else interp."
+  in
+  Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
 let fault_seed_arg =
   let doc =
@@ -492,8 +512,9 @@ let analyze_cmd =
 (* -------------------------- run ------------------------- *)
 
 let run_action file model gpu precision batch small window jobs verbose inject fault_seed json
-    trace assert_det mem_report =
+    trace assert_det mem_report backend =
   install_faults inject fault_seed;
+  let backend = match backend with Some b -> b | None -> Runtime.Backend.default () in
   let g, source =
     match (model, file) with
     | Some m, None -> (build_graph (find_model m) ~small ~batch, m)
@@ -538,9 +559,19 @@ let run_action file model gpu precision batch small window jobs verbose inject f
            | _ -> None)
   in
   let expected = Runtime.Interp.run g ~inputs in
-  let got = Runtime.Executor.run r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan ~inputs in
+  let exec_stats = Runtime.Backend.fresh_exec_stats () in
+  let got =
+    Runtime.Executor.run ~backend ~exec_stats r.Korch.Orchestrator.graph
+      r.Korch.Orchestrator.plan ~inputs
+  in
   let diff =
     List.fold_left2 (fun a e g -> Float.max a (Tensor.Nd.max_abs_diff e g)) 0.0 expected got
+  in
+  (* Fold measured native-kernel wall-clocks into the profile database so
+     the cost model accumulates calibration data. *)
+  let recorded =
+    Korch.Calibrate.record ~spec:gpu ~precision r.Korch.Orchestrator.graph
+      r.Korch.Orchestrator.plan exec_stats
   in
   (* [--mem-report]: re-execute with the memory planner's buffer-reuse
      mode, require bit-identical outputs, and print the planner + arena
@@ -583,11 +614,26 @@ let run_action file model gpu precision batch small window jobs verbose inject f
          ~meta:
            (report_meta ~source ~gpu ~precision ~batch ~jobs
               [ ("max_abs_diff", Obs.Jsonw.Float diff) ])
+         ~execution:(Korch.Report.execution_to_json ~backend exec_stats)
          r)
   else begin
     print_string (Korch.Report.summary r);
     print_outcomes ~verbose r;
     if verbose then Format.printf "%a" Runtime.Plan.pp r.Korch.Orchestrator.plan;
+    (match backend with
+    | Runtime.Backend.Interp -> ()
+    | Runtime.Backend.Native ->
+      Printf.printf "backend native: %d kernel(s) compiled+verified, %d on the interpreter"
+        exec_stats.Runtime.Backend.native_kernels exec_stats.Runtime.Backend.interp_kernels;
+      if recorded > 0 then Printf.printf "; %d measured timing(s) recorded" recorded;
+      print_newline ();
+      List.iter
+        (fun (ki, reason) -> Printf.printf "  kernel %d fell back: %s\n" ki reason)
+        (List.sort compare exec_stats.Runtime.Backend.fallbacks);
+      if verbose then
+        List.iter
+          (fun (ki, us) -> Printf.printf "  kernel %d: %.2f us measured\n" ki us)
+          (List.sort compare exec_stats.Runtime.Backend.kernel_times_us));
     Printf.printf "executed plan; max |diff| vs reference interpreter: %g\n" diff
   end
 
@@ -617,7 +663,7 @@ let run_cmd =
     Term.(
       const run_action $ file $ model $ gpu_arg $ precision_arg $ batch_arg $ small_arg
       $ window_arg $ jobs_arg $ verbose_arg $ inject_arg $ fault_seed_arg $ json_arg $ trace_arg
-      $ assert_det $ mem_report)
+      $ assert_det $ mem_report $ backend_arg)
 
 let () =
   let info =

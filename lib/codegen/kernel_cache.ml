@@ -1,0 +1,244 @@
+(** Signature-keyed cache of compiled kernel shared objects.
+
+    Each kernel's canonical {!Emit.signature} hashes to a pair of files in
+    the cache directory — [korch_<md5>.c] (the generated source, kept for
+    debugging and CI artifacts) and [korch_<md5>.so] — plus an in-memory
+    table of loaded handles. The resolution ladder for a signature is:
+
+    + in-memory hit (compiled and loaded earlier this process);
+    + disk hit — an existing [.so] is dlopen'd without recompiling;
+    + compile — the source is written atomically, [cc] produces the
+      shared object, and the result is loaded.
+
+    A [.so] that fails to load (truncated, corrupted, wrong arch) is
+    deleted and recompiled once rather than crashing the run. Genuine
+    compile failures are memoized as [Failed] so a broken kernel doesn't
+    re-invoke the compiler every execution; the native executor degrades
+    that kernel to the interpreter.
+
+    Because the {!Emit.version} string participates in the signature (and
+    therefore the hash), bumping the code generator invalidates every
+    cached object automatically — stale [.so] files are simply never
+    addressed again.
+
+    Compilation flags default to [-O3 -march=native -ffp-contract=off]:
+    contraction must stay off, otherwise FMA fusion silently breaks
+    bit-identity with the interpreter. Override with [KORCH_CFLAGS]
+    (at your own risk), the compiler with [KORCH_CC], and the cache
+    directory with [KORCH_KERNEL_CACHE]. *)
+
+external dl_open : string -> nativeint = "korch_cg_dlopen"
+external dl_sym : nativeint -> string -> nativeint = "korch_cg_dlsym"
+external dl_close : nativeint -> unit = "korch_cg_dlclose"
+external dl_call : nativeint -> float array array -> float array array -> unit
+  = "korch_cg_call"
+
+type compiled = {
+  fn : nativeint;  (** resolved [korch_kernel] symbol *)
+  handle : nativeint;  (** dlopen handle (kept for the process lifetime) *)
+  so_path : string;
+  c_path : string;
+}
+
+type entry = Loaded of compiled | Failed of string
+
+type stats = {
+  mutable compiles : int;  (** cc invocations that succeeded *)
+  mutable disk_hits : int;  (** .so reused from disk without compiling *)
+  mutable mem_hits : int;  (** signatures already resolved this process *)
+  mutable corrupt_recompiles : int;  (** unloadable .so deleted and rebuilt *)
+  mutable failures : int;  (** signatures memoized as uncompilable *)
+}
+
+type t = {
+  dir : string;
+  table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+  stats : stats;
+}
+
+let m_compiles = Obs.Metrics.counter "codegen.compiles"
+let m_disk_hits = Obs.Metrics.counter "codegen.cache.disk_hits"
+let m_mem_hits = Obs.Metrics.counter "codegen.cache.mem_hits"
+let m_corrupt = Obs.Metrics.counter "codegen.cache.corrupt_recompiles"
+let m_failures = Obs.Metrics.counter "codegen.compile_failures"
+
+let fresh_stats () =
+  { compiles = 0; disk_hits = 0; mem_hits = 0; corrupt_recompiles = 0; failures = 0 }
+
+let env_dir_var = "KORCH_KERNEL_CACHE"
+let env_cc_var = "KORCH_CC"
+let env_cflags_var = "KORCH_CFLAGS"
+
+let default_cflags = "-O3 -march=native -ffp-contract=off"
+
+let cc () = match Sys.getenv_opt env_cc_var with Some c when c <> "" -> c | _ -> "cc"
+
+let cflags () =
+  match Sys.getenv_opt env_cflags_var with Some f when f <> "" -> f | _ -> default_cflags
+
+(* Probed once: is a C compiler callable at all? Without one the native
+   backend degrades to the interpreter wholesale (CI runs the native
+   lane only where cc exists). *)
+let cc_available : bool Lazy.t =
+  lazy
+    (Sys.command (Printf.sprintf "command -v %s > /dev/null 2> /dev/null" (Filename.quote (cc ())))
+    = 0)
+
+let available () = Lazy.force cc_available
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let create ?dir () : t =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None -> (
+      match Sys.getenv_opt env_dir_var with
+      | Some d when d <> "" -> d
+      | _ -> Filename.concat (Filename.get_temp_dir_name ()) "korch-kernels")
+  in
+  mkdir_p dir;
+  { dir; table = Hashtbl.create 64; stats = fresh_stats (); mutex = Mutex.create () }
+
+(* Process-default cache instance (the executor path). Tests build their
+   own instances over scratch directories. *)
+let default_instance : t option ref = ref None
+let default_mutex = Mutex.create ()
+
+let default () : t =
+  Mutex.lock default_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock default_mutex)
+    (fun () ->
+      match !default_instance with
+      | Some t -> t
+      | None ->
+        let t = create () in
+        default_instance := Some t;
+        t)
+
+let stats (t : t) = t.stats
+
+let paths (t : t) ~(signature : string) : string * string =
+  let hash = Digest.to_hex (Digest.string signature) in
+  ( Filename.concat t.dir (Printf.sprintf "korch_%s.c" hash),
+    Filename.concat t.dir (Printf.sprintf "korch_%s.so" hash) )
+
+(* Atomic publish: write to a unique temp file in the same directory,
+   then rename over the target (rename within a filesystem is atomic, so
+   concurrent processes never observe a half-written source). *)
+let write_atomic ~dir ~path (contents : string) : unit =
+  let tmp = Filename.temp_file ~temp_dir:dir "korch" ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let load_so ~c_path (so_path : string) : (compiled, string) result =
+  match dl_open so_path with
+  | handle -> begin
+    match dl_sym handle Emit.kernel_symbol with
+    | fn -> Ok { fn; handle; so_path; c_path }
+    | exception Failure msg ->
+      dl_close handle;
+      Error (Printf.sprintf "dlsym: %s" msg)
+  end
+  | exception Failure msg -> Error (Printf.sprintf "dlopen: %s" msg)
+
+(* Run cc, capturing stderr into a log file next to the object. Returns
+   the compiler diagnostics on failure. *)
+let run_cc ~(c_path : string) ~(so_path : string) : (unit, string) result =
+  let log = so_path ^ ".log" in
+  let tmp_so = so_path ^ ".tmp" in
+  let cmd =
+    Printf.sprintf "%s %s -fPIC -shared -o %s %s -lm 2> %s" (cc ()) (cflags ())
+      (Filename.quote tmp_so) (Filename.quote c_path) (Filename.quote log)
+  in
+  let rc = Sys.command cmd in
+  if rc = 0 then begin
+    Sys.rename tmp_so so_path;
+    (try Sys.remove log with Sys_error _ -> ());
+    Ok ()
+  end
+  else begin
+    let diag =
+      try
+        let ic = open_in_bin log in
+        let n = min (in_channel_length ic) 2000 in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with _ -> ""
+    in
+    (try Sys.remove tmp_so with Sys_error _ -> ());
+    Error (Printf.sprintf "cc exited with %d: %s" rc (String.trim diag))
+  end
+
+(* Resolve a signature to a loaded kernel, compiling at most once (plus
+   one recovery recompile when a cached .so turns out to be unloadable).
+   Must be called with the source thunk so cache hits skip emission. *)
+let resolve (t : t) ~(signature : string) ~(source : unit -> string) :
+    (compiled, string) result =
+  Faults.check Faults.Codegen_compile;
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.table signature with
+      | Some (Loaded c) ->
+        t.stats.mem_hits <- t.stats.mem_hits + 1;
+        Obs.Metrics.incr m_mem_hits;
+        Ok c
+      | Some (Failed msg) -> Error msg
+      | None ->
+        if not (available ()) then Error "no C compiler available"
+        else begin
+          let c_path, so_path = paths t ~signature in
+          let compile () =
+            let src = source () in
+            write_atomic ~dir:t.dir ~path:c_path src;
+            match run_cc ~c_path ~so_path with
+            | Ok () -> begin
+              t.stats.compiles <- t.stats.compiles + 1;
+              Obs.Metrics.incr m_compiles;
+              match load_so ~c_path so_path with
+              | Ok c -> Ok c
+              | Error msg ->
+                Error (Printf.sprintf "freshly compiled object unloadable: %s" msg)
+            end
+            | Error msg -> Error msg
+          in
+          let result =
+            if Sys.file_exists so_path then begin
+              match load_so ~c_path so_path with
+              | Ok c ->
+                t.stats.disk_hits <- t.stats.disk_hits + 1;
+                Obs.Metrics.incr m_disk_hits;
+                Ok c
+              | Error _ ->
+                (* Corrupted or stale-arch cache entry: delete, rebuild. *)
+                (try Sys.remove so_path with Sys_error _ -> ());
+                t.stats.corrupt_recompiles <- t.stats.corrupt_recompiles + 1;
+                Obs.Metrics.incr m_corrupt;
+                compile ()
+            end
+            else compile ()
+          in
+          (match result with
+          | Ok c -> Hashtbl.replace t.table signature (Loaded c)
+          | Error msg ->
+            t.stats.failures <- t.stats.failures + 1;
+            Obs.Metrics.incr m_failures;
+            Hashtbl.replace t.table signature (Failed msg));
+          result
+        end)
+
+(** [call c ~ins ~outs] invokes the compiled kernel on flat float-array
+    views of the input and output tensors. *)
+let call (c : compiled) ~(ins : float array array) ~(outs : float array array) : unit =
+  dl_call c.fn ins outs

@@ -1,0 +1,275 @@
+(** The native backend: plan execution through compiled C kernels.
+
+    Mirrors the interpreter executor's contract exactly — same dynamic
+    convexity and dependency checks, same {!Runtime.Executor.Invalid_plan}
+    messages, same publish discipline — but each kernel is resolved to a
+    shared object via {!Emit} + {!Kernel_cache} and invoked directly on
+    the tensors' flat storage.
+
+    Degradation ladder (per kernel, never per run):
+
+    + a kernel whose signature was already {e verified} this process runs
+      natively, its wall-clock recorded into the execution stats;
+    + a kernel the emitter cannot express, that the compiler rejects,
+      whose verification fails, or whose resolution drew a
+      [codegen_compile] fault, falls back to the interpreter — recorded
+      in [stats.fallbacks] with the reason, and the run proceeds.
+
+    {b Differential verification}: before a compiled kernel's first
+    production use, it is executed on deterministic pseudo-random inputs
+    (seeded from its signature) and compared against
+    {!Runtime.Prim_interp} element by element. Outputs must match within
+    1 ULP (bit-identity is the norm; the single-ULP allowance covers
+    platform libm call-site differences). A kernel failing the gate is
+    rejected for the whole process. *)
+
+open Ir
+open Tensor
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime.Executor.Invalid_plan s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* ULP distance                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Monotone map from float to int64: the integer distance between two
+   mapped values is the number of representable doubles between them.
+   Both zeros map to 0. *)
+let ulp_key (f : float) : int64 =
+  let b = Int64.bits_of_float f in
+  if Int64.compare b 0L < 0 then Int64.sub Int64.min_int b else b
+
+(** [ulp_diff a b] — 0 for bit-equal values and for two NaNs (any
+    payloads); otherwise the number of representable doubles between [a]
+    and [b] (saturated at [max_int]). *)
+let ulp_diff (a : float) (b : float) : int =
+  let ba = Int64.bits_of_float a and bb = Int64.bits_of_float b in
+  if Int64.equal ba bb then 0
+  else if a <> a && b <> b then 0
+  else if a <> a || b <> b then max_int
+  else begin
+    let d = Int64.sub (ulp_key a) (ulp_key b) in
+    let d = if Int64.compare d 0L < 0 then Int64.neg d else d in
+    if Int64.compare d (Int64.of_int max_int) >= 0 || Int64.compare d 0L < 0 then max_int
+    else Int64.to_int d
+  end
+
+let ulp_tolerance = 1
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-local interpretation (verification oracle and fallback)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate the kernel's members in layout order from concrete external
+   values — the reference semantics a compiled kernel must reproduce. *)
+let interp_kernel (g : Primgraph.t) (lay : Emit.layout) ~(ext_vals : Nd.t array) :
+    Nd.t array =
+  let env : (int, Nd.t) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace env id ext_vals.(i)) lay.Emit.ext_ids;
+  List.iter
+    (fun id ->
+      let nd = Graph.node g id in
+      let args = List.map (fun i -> Hashtbl.find env i) nd.Graph.inputs in
+      Hashtbl.replace env id (Runtime.Prim_interp.eval_prim nd.Graph.op args))
+    lay.Emit.order;
+  Array.map (fun id -> Hashtbl.find env id) lay.Emit.out_ids
+
+(* Invoke the compiled kernel: fresh zeroed output buffers, flat-array
+   views in ABI order. *)
+let call_native (g : Primgraph.t) (lay : Emit.layout) (c : Kernel_cache.compiled)
+    ~(ext_vals : Nd.t array) : Nd.t array =
+  let outs = Array.map (fun id -> Nd.zeros (Graph.shape g id)) lay.Emit.out_ids in
+  Kernel_cache.call c
+    ~ins:(Array.map (fun v -> v.Nd.data) ext_vals)
+    ~outs:(Array.map (fun v -> v.Nd.data) outs);
+  outs
+
+(* ------------------------------------------------------------------ *)
+(* Differential verification gate                                      *)
+(* ------------------------------------------------------------------ *)
+
+let m_verified = Obs.Metrics.counter "codegen.verify.passed"
+let m_rejected = Obs.Metrics.counter "codegen.verify.rejected"
+
+let verdicts : (string, (unit, string) result) Hashtbl.t = Hashtbl.create 64
+let verdicts_mutex = Mutex.create ()
+
+(* Deterministic per-signature input generator. Values span [-2, 2) so
+   negative branches (relu, abs, leaky slopes, log/sqrt NaN domains) are
+   exercised. *)
+let gen_inputs (g : Primgraph.t) (lay : Emit.layout) ~(signature : string) : Nd.t array =
+  let d = Digest.string signature in
+  let seed =
+    (Char.code d.[0] lsl 24)
+    lxor (Char.code d.[1] lsl 16)
+    lxor (Char.code d.[2] lsl 8)
+    lxor Char.code d.[3]
+  in
+  let rng = Rng.create (seed lor 1) in
+  Array.map
+    (fun id -> Nd.create (Graph.shape g id) (fun _ -> Rng.uniform rng ~lo:(-2.0) ~hi:2.0))
+    lay.Emit.ext_ids
+
+let compare_outputs (expected : Nd.t array) (got : Nd.t array) : (unit, string) result =
+  let bad = ref None in
+  Array.iteri
+    (fun oi e ->
+      if !bad = None then begin
+        let a = got.(oi) in
+        if not (Shape.equal (Nd.shape e) (Nd.shape a)) then
+          bad :=
+            Some
+              (Printf.sprintf "output %d shape %s, expected %s" oi
+                 (Shape.to_string (Nd.shape a))
+                 (Shape.to_string (Nd.shape e)))
+        else
+          for k = 0 to Nd.numel e - 1 do
+            if !bad = None then begin
+              let u = ulp_diff (Nd.get_linear e k) (Nd.get_linear a k) in
+              if u > ulp_tolerance then
+                bad :=
+                  Some
+                    (Printf.sprintf "output %d element %d: native %h vs interp %h (%d ulp)"
+                       oi k (Nd.get_linear a k) (Nd.get_linear e k) u)
+            end
+          done
+      end)
+    expected;
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+(* First production use of a signature triggers the gate; the verdict is
+   memoized for the process (both directions). *)
+let verify (g : Primgraph.t) (lay : Emit.layout) (c : Kernel_cache.compiled)
+    ~(signature : string) : (unit, string) result =
+  Mutex.lock verdicts_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock verdicts_mutex)
+    (fun () ->
+      match Hashtbl.find_opt verdicts signature with
+      | Some v -> v
+      | None ->
+        let v =
+          match
+            let ext_vals = gen_inputs g lay ~signature in
+            let expected = interp_kernel g lay ~ext_vals in
+            let got = call_native g lay c ~ext_vals in
+            compare_outputs expected got
+          with
+          | Ok () ->
+            Obs.Metrics.incr m_verified;
+            Ok ()
+          | Error msg ->
+            Obs.Metrics.incr m_rejected;
+            Error msg
+          | exception e -> Error (Printexc.to_string e)
+        in
+        Hashtbl.replace verdicts signature v;
+        v)
+
+(** Drop memoized verification verdicts (tests re-verifying fresh cache
+    directories). *)
+let reset_verdicts () =
+  Mutex.lock verdicts_mutex;
+  Hashtbl.reset verdicts;
+  Mutex.unlock verdicts_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Kernel resolution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type resolved = { lay : Emit.layout; compiled : Kernel_cache.compiled }
+
+(* Signature -> compiled+verified kernel, or the reason this kernel runs
+   on the interpreter instead. Faults.Injected from the codegen_compile
+   site propagates to the caller (it must not be memoized: a later run
+   without the fault policy recovers). *)
+let prepare (cache : Kernel_cache.t) (g : Primgraph.t) (k : Runtime.Plan.kernel) :
+    (resolved, string) result =
+  match Emit.signature g k with
+  | exception Emit.Unsupported_kernel msg -> Error (Printf.sprintf "unsupported: %s" msg)
+  | signature -> begin
+    match Kernel_cache.resolve cache ~signature ~source:(fun () -> Emit.source g k) with
+    | Error msg -> Error msg
+    | Ok compiled -> begin
+      let lay = Emit.layout g k in
+      match verify g lay compiled ~signature with
+      | Ok () -> Ok { lay; compiled }
+      | Error msg -> Error (Printf.sprintf "differential verify: %s" msg)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_impl ~(stats : Runtime.Backend.exec_stats) (g : Primgraph.t)
+    (plan : Runtime.Plan.t) ~(inputs : (string * Nd.t) list) : Nd.t list =
+  let n = Graph.length g in
+  let topo = Graph.topo_order g in
+  let global = Runtime.Prim_interp.bind_sources g ~inputs in
+  let cache = Kernel_cache.default () in
+  let read_global ki i =
+    match Hashtbl.find_opt global i with
+    | Some v -> v
+    | None -> fail "kernel %d reads tensor %d that no prior kernel published" (ki + 1) i
+  in
+  (* The interpreter path for one kernel — the same local-environment
+     discipline as Executor.run_interp without arena reuse. *)
+  let run_kernel_interp ki (k : Runtime.Plan.kernel) (members : Bitset.t) : unit =
+    let local : (int, Nd.t) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun id ->
+        let nd = Graph.node g id in
+        let args =
+          List.map
+            (fun i ->
+              if Bitset.mem members i then
+                match Hashtbl.find_opt local i with
+                | Some v -> v
+                | None ->
+                  fail "kernel %d: internal dependency %d not yet computed" (ki + 1) i
+              else read_global ki i)
+            nd.Graph.inputs
+        in
+        Hashtbl.replace local id (Runtime.Prim_interp.eval_prim nd.Graph.op args))
+      (List.filter (fun id -> Bitset.mem members id) topo);
+    List.iter
+      (fun o ->
+        match Hashtbl.find_opt local o with
+        | Some v -> Hashtbl.replace global o v
+        | None -> fail "kernel %d declares output %d it did not compute" (ki + 1) o)
+      k.Runtime.Plan.outputs
+  in
+  List.iteri
+    (fun ki (k : Runtime.Plan.kernel) ->
+      let members = Bitset.of_list n k.Runtime.Plan.prims in
+      if not (Graph.is_convex g members) then
+        fail "kernel %d executes a non-convex primitive set" (ki + 1);
+      let fallback reason =
+        stats.Runtime.Backend.interp_kernels <-
+          stats.Runtime.Backend.interp_kernels + 1;
+        stats.Runtime.Backend.fallbacks <- (ki, reason) :: stats.Runtime.Backend.fallbacks;
+        run_kernel_interp ki k members
+      in
+      match prepare cache g k with
+      | exception Faults.Injected { site = _; hit } ->
+        fallback (Printf.sprintf "fault injected at codegen_compile (call %d)" hit)
+      | Error reason -> fallback reason
+      | Ok { lay; compiled } ->
+        let ext_vals = Array.map (fun id -> read_global ki id) lay.Emit.ext_ids in
+        let t0 = Obs.Clock.now_us () in
+        let outs = call_native g lay compiled ~ext_vals in
+        let dt = Obs.Clock.now_us () -. t0 in
+        stats.Runtime.Backend.native_kernels <- stats.Runtime.Backend.native_kernels + 1;
+        stats.Runtime.Backend.kernel_times_us <-
+          (ki, dt) :: stats.Runtime.Backend.kernel_times_us;
+        Array.iteri
+          (fun oi id -> Hashtbl.replace global id outs.(oi))
+          lay.Emit.out_ids)
+    plan.Runtime.Plan.kernels;
+  List.map
+    (fun o ->
+      match Hashtbl.find_opt global o with
+      | Some v -> v
+      | None -> fail "plan finished without producing graph output %d" o)
+    g.Graph.outputs

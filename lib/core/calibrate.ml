@@ -1,0 +1,47 @@
+(** Fold measured native-kernel timings into the profile database.
+
+    The orchestrator's cost model prices candidate kernels with a modelled
+    roofline ({!Gpu.Cost_model}); the native C backend gives us the first
+    {e measured} wall-clocks for the very kernels a plan launches. This
+    module joins the two worlds: each plan kernel is mapped to the same
+    canonical {!Gpu.Profiler.signature} the profile cache keys on, and the
+    per-kernel timings an executor run collected
+    ({!Runtime.Backend.exec_stats.kernel_times_us}) are folded into the
+    process-global measured store ({!Gpu.Profile_cache.record_measured}).
+    Repeated runs accumulate best-of-N per kernel — exactly the shape of
+    data a future fitted cost model wants. *)
+
+open Ir
+
+(** [kernel_key ?spec ?precision g k] — the profile-cache signature of one
+    plan kernel (defaults match {!Orchestrator.default_config}). *)
+let kernel_key ?(spec = Gpu.Spec.v100) ?(precision = Gpu.Precision.FP32)
+    (g : Primgraph.t) (k : Runtime.Plan.kernel) : string =
+  let members = Bitset.of_list (Graph.length g) k.Runtime.Plan.prims in
+  Gpu.Profiler.signature g members ~outputs:k.Runtime.Plan.outputs ~spec ~precision
+
+(** [record ?spec ?precision g plan stats] — fold every native kernel
+    timing in [stats] into the measured store; returns the number of
+    samples recorded. Kernel indices in [stats.kernel_times_us] are
+    0-based plan positions; indices out of range (a stats record from a
+    different plan) are ignored rather than trusted. *)
+let record ?spec ?precision (g : Primgraph.t) (plan : Runtime.Plan.t)
+    (stats : Runtime.Backend.exec_stats) : int =
+  let kernels = Array.of_list plan.Runtime.Plan.kernels in
+  let keys = Array.make (Array.length kernels) None in
+  let key_of ki =
+    match keys.(ki) with
+    | Some k -> k
+    | None ->
+      let k = kernel_key ?spec ?precision g kernels.(ki) in
+      keys.(ki) <- Some k;
+      k
+  in
+  List.fold_left
+    (fun n (ki, us) ->
+      if ki >= 0 && ki < Array.length kernels then begin
+        Gpu.Profile_cache.record_measured ~key:(key_of ki) ~us;
+        n + 1
+      end
+      else n)
+    0 stats.Runtime.Backend.kernel_times_us

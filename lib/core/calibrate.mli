@@ -1,0 +1,31 @@
+(** Fold measured native-kernel timings into the profile database.
+
+    Joins the native backend's per-run execution accounting
+    ({!Runtime.Backend.exec_stats}) with the profile cache's canonical
+    kernel signatures, so real wall-clocks accumulate next to the
+    modelled profiles they calibrate. *)
+
+open Ir
+
+(** [kernel_key ?spec ?precision g k] — the canonical profile-cache
+    signature of one plan kernel. Defaults ([Gpu.Spec.v100],
+    [Gpu.Precision.FP32]) match {!Orchestrator.default_config}. *)
+val kernel_key :
+  ?spec:Gpu.Spec.t ->
+  ?precision:Gpu.Precision.t ->
+  Primgraph.t ->
+  Runtime.Plan.kernel ->
+  string
+
+(** [record ?spec ?precision g plan stats] — fold every measured kernel
+    timing in [stats.kernel_times_us] into
+    {!Gpu.Profile_cache.record_measured}, keyed per plan kernel; returns
+    the number of samples recorded. Out-of-range kernel indices are
+    ignored. *)
+val record :
+  ?spec:Gpu.Spec.t ->
+  ?precision:Gpu.Precision.t ->
+  Primgraph.t ->
+  Runtime.Plan.t ->
+  Runtime.Backend.exec_stats ->
+  int

@@ -115,9 +115,38 @@ let segment_to_json (s : Orchestrator.segment_result) : Obs.Jsonw.t =
       ("phase_us", phase_obj s.Orchestrator.phase_us);
     ]
 
-(** [to_json ?meta r] — the machine-readable orchestration report
-    (schema [korch-report/1]). *)
-let to_json ?(meta : (string * Obs.Jsonw.t) list = []) (r : Orchestrator.result) :
+(** [execution_to_json ~backend stats] — the ["execution"] block of a
+    korch-report/1 document: which backend ran the plan and the native
+    backend's per-kernel accounting (kernels run natively vs. on the
+    interpreter, per-kernel fallbacks with their reasons, and measured
+    per-kernel wall-clocks). *)
+let execution_to_json ~(backend : Runtime.Backend.t)
+    (s : Runtime.Backend.exec_stats) : Obs.Jsonw.t =
+  Obs.Jsonw.Obj
+    [
+      ("backend", Obs.Jsonw.Str (Runtime.Backend.to_string backend));
+      ("native_kernels", Obs.Jsonw.Int s.Runtime.Backend.native_kernels);
+      ("interp_kernels", Obs.Jsonw.Int s.Runtime.Backend.interp_kernels);
+      ( "fallbacks",
+        Obs.Jsonw.List
+          (List.map
+             (fun (ki, reason) ->
+               Obs.Jsonw.Obj
+                 [ ("kernel", Obs.Jsonw.Int ki); ("reason", Obs.Jsonw.Str reason) ])
+             (List.sort compare s.Runtime.Backend.fallbacks)) );
+      ( "kernel_times_us",
+        Obs.Jsonw.List
+          (List.map
+             (fun (ki, us) ->
+               Obs.Jsonw.Obj
+                 [ ("kernel", Obs.Jsonw.Int ki); ("us", Obs.Jsonw.Float us) ])
+             (List.sort compare s.Runtime.Backend.kernel_times_us)) );
+    ]
+
+(** [to_json ?meta ?execution r] — the machine-readable orchestration
+    report (schema [korch-report/1]). *)
+let to_json ?(meta : (string * Obs.Jsonw.t) list = [])
+    ?(execution : Obs.Jsonw.t option) (r : Orchestrator.result) :
     Obs.Jsonw.t =
   let count t =
     List.length
@@ -180,8 +209,10 @@ let to_json ?(meta : (string * Obs.Jsonw.t) list = []) (r : Orchestrator.result)
         ("phase_us", phase_obj r.Orchestrator.phase_us);
         ( "per_segment",
           Obs.Jsonw.List (List.map segment_to_json r.Orchestrator.segments) );
-        ("metrics", Obs.Metrics.to_json ());
-      ])
+      ]
+    (* New in this revision; optional for korch-report/1 readers. *)
+    @ (match execution with Some e -> [ ("execution", e) ] | None -> [])
+    @ [ ("metrics", Obs.Metrics.to_json ()) ])
 
-let json_string ?meta (r : Orchestrator.result) : string =
-  Obs.Jsonw.to_string (to_json ?meta r)
+let json_string ?meta ?execution (r : Orchestrator.result) : string =
+  Obs.Jsonw.to_string (to_json ?meta ?execution r)

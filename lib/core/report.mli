@@ -19,7 +19,15 @@ val summary : Orchestrator.result -> string
 (** [segment_table r] is [pp_segments] rendered to a string. *)
 val segment_table : Orchestrator.result -> string
 
-(** [to_json ?meta r] — machine-readable report, schema [korch-report/1]:
+(** [execution_to_json ~backend stats] — the optional ["execution"] block
+    of a korch-report/1 document: the backend that ran the plan plus the
+    native backend's per-kernel accounting (native vs. interpreted kernel
+    counts, per-kernel fallbacks with reasons, measured per-kernel
+    wall-clocks). Pass the result to {!to_json}'s [?execution]. *)
+val execution_to_json :
+  backend:Runtime.Backend.t -> Runtime.Backend.exec_stats -> Obs.Jsonw.t
+
+(** [to_json ?meta ?execution r] — machine-readable report, schema [korch-report/1]:
     run-level counts (primitives, states, candidates, kernels, redundancy,
     plan latency, tuning time), the degradation-tier census, a ["memory"]
     object with the {!Runtime.Memplan} stats of the stitched plan (an
@@ -29,9 +37,18 @@ val segment_table : Orchestrator.result -> string
     per-phase wall-clock timings, one object per segment (tier,
     kernel/candidate counts, enumeration stats, retries, fallback reason,
     phase timings) and a {!Obs.Metrics} snapshot under ["metrics"]. [meta] adds a
-    caller-supplied ["meta"] object (model name, GPU, precision, jobs…).
-    The output parses back with [Onnx.Json]. *)
-val to_json : ?meta:(string * Obs.Jsonw.t) list -> Orchestrator.result -> Obs.Jsonw.t
+    caller-supplied ["meta"] object (model name, GPU, precision, jobs…);
+    [execution] adds the optional ["execution"] block (see
+    {!execution_to_json}). The output parses back with [Onnx.Json]. *)
+val to_json :
+  ?meta:(string * Obs.Jsonw.t) list ->
+  ?execution:Obs.Jsonw.t ->
+  Orchestrator.result ->
+  Obs.Jsonw.t
 
-(** [json_string ?meta r] is [to_json] rendered compactly. *)
-val json_string : ?meta:(string * Obs.Jsonw.t) list -> Orchestrator.result -> string
+(** [json_string ?meta ?execution r] is [to_json] rendered compactly. *)
+val json_string :
+  ?meta:(string * Obs.Jsonw.t) list ->
+  ?execution:Obs.Jsonw.t ->
+  Orchestrator.result ->
+  string

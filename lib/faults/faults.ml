@@ -4,9 +4,18 @@
     configuration through every signature; counters are atomics so
     worker domains draw distinct call numbers. *)
 
-type site = Profiler | Ilp_solve | Enumerate | Transform | Worker | Onnx_parse | Analysis
+type site =
+  | Profiler
+  | Ilp_solve
+  | Enumerate
+  | Transform
+  | Worker
+  | Onnx_parse
+  | Analysis
+  | Codegen_compile
 
-let all_sites = [ Profiler; Ilp_solve; Enumerate; Transform; Worker; Onnx_parse; Analysis ]
+let all_sites =
+  [ Profiler; Ilp_solve; Enumerate; Transform; Worker; Onnx_parse; Analysis; Codegen_compile ]
 
 let site_index = function
   | Profiler -> 0
@@ -16,8 +25,9 @@ let site_index = function
   | Worker -> 4
   | Onnx_parse -> 5
   | Analysis -> 6
+  | Codegen_compile -> 7
 
-let n_sites = 7
+let n_sites = 8
 
 let site_to_string = function
   | Profiler -> "profiler"
@@ -27,6 +37,7 @@ let site_to_string = function
   | Worker -> "worker"
   | Onnx_parse -> "onnx_parse"
   | Analysis -> "analysis"
+  | Codegen_compile -> "codegen_compile"
 
 let site_of_string s =
   List.find_opt (fun site -> site_to_string site = s) all_sites

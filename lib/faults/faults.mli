@@ -27,6 +27,9 @@ type site =
   | Worker  (** a {!Parallel.Domain_pool} worker executing a task *)
   | Onnx_parse  (** {!Onnx.Deserialize} document parsing *)
   | Analysis  (** the static-analysis cross-check of an orchestrated plan *)
+  | Codegen_compile
+      (** the native backend resolving one kernel to a compiled [.so];
+          injection degrades that kernel to the interpreter, never the run *)
 
 (** All sites, in declaration order. *)
 val all_sites : site list

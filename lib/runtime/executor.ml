@@ -39,7 +39,7 @@ let fresh_stats () = { evals = 0; into_evals = 0; aliases = 0; fresh_elems = 0; 
    to the free pool only when the last one dies. *)
 type buf = { data : float array; mutable refs : int }
 
-let run ?(reuse = false) ?stats (g : Primgraph.t) (plan : Plan.t)
+let run_interp ?(reuse = false) ?stats ?exec_stats (g : Primgraph.t) (plan : Plan.t)
     ~(inputs : (string * Nd.t) list) : Nd.t list =
   let n = Graph.length g in
   (* Hoisted: one topological sort per run, not one per kernel. *)
@@ -96,6 +96,10 @@ let run ?(reuse = false) ?stats (g : Primgraph.t) (plan : Plan.t)
       let members = Bitset.of_list n k.Plan.prims in
       if not (Graph.is_convex g members) then
         fail "kernel %d executes a non-convex primitive set" (ki + 1);
+      (match exec_stats with
+      | Some (es : Backend.exec_stats) ->
+        es.Backend.interp_kernels <- es.Backend.interp_kernels + 1
+      | None -> ());
       (* Local environment: the kernel recomputes all its internal prims
          from externally published tensors only. *)
       let local : Prim_interp.env = Hashtbl.create 16 in
@@ -185,6 +189,28 @@ let run ?(reuse = false) ?stats (g : Primgraph.t) (plan : Plan.t)
       | Some v -> v
       | None -> fail "plan finished without producing graph output %d" o)
     g.Graph.outputs
+
+(* Backend dispatch. The arena-reuse mode is an interpreter feature (it
+   recycles OCaml-side buffers along the memplan death schedule), so
+   [~reuse:true] always takes the interpreter path regardless of the
+   requested backend — which also makes reuse-vs-native comparisons a
+   genuine cross-backend differential test. *)
+let run ?(backend : Backend.t option) ?(reuse = false) ?stats ?exec_stats (g : Primgraph.t)
+    (plan : Plan.t) ~(inputs : (string * Nd.t) list) : Nd.t list =
+  let backend = match backend with Some b -> b | None -> Backend.default () in
+  match backend with
+  | Backend.Native when not reuse -> begin
+    match Backend.native_impl () with
+    | Some impl ->
+      let stats =
+        match exec_stats with Some es -> es | None -> Backend.fresh_exec_stats ()
+      in
+      impl ~stats g plan ~inputs
+    | None ->
+      Backend.warn_native_missing ();
+      run_interp ~reuse ?stats ?exec_stats g plan ~inputs
+  end
+  | _ -> run_interp ~reuse ?stats ?exec_stats g plan ~inputs
 
 (** [validate g plan] statically checks the plan: convexity of every
     kernel, dependency ordering, and output coverage — without executing

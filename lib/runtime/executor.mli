@@ -27,6 +27,14 @@ val fresh_stats : unit -> run_stats
 (** [run g plan ~inputs] executes [plan] over primitive graph [g] and
     returns the graph outputs in declaration order.
 
+    [?backend] selects the execution backend (default
+    {!Backend.default}, i.e. [KORCH_BACKEND] or the interpreter). With
+    {!Backend.Native} and a linked native implementation, kernels run as
+    compiled C functions with per-kernel fallback to the interpreter;
+    [?exec_stats] receives the per-kernel accounting. [~reuse:true]
+    always takes the interpreter path — arena reuse is an
+    interpreter-side feature.
+
     With [~reuse:true] the executor follows the {!Memplan} death
     schedule: tensors are released at their last use, elementwise and
     transpose/slice primitives evaluate into recycled buffers, and
@@ -39,8 +47,10 @@ val fresh_stats : unit -> run_stats
     published, a kernel's primitive set is not convex, or the plan ends
     without publishing every graph output. *)
 val run :
+  ?backend:Backend.t ->
   ?reuse:bool ->
   ?stats:run_stats ->
+  ?exec_stats:Backend.exec_stats ->
   Primgraph.t ->
   Plan.t ->
   inputs:(string * Nd.t) list ->

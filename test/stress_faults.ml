@@ -1,11 +1,15 @@
 (* Fault-injection stress sweep (the dune @stress alias).
 
-   Two phases on a fast attention subgraph:
+   Three phases on a fast attention subgraph:
 
    1. deterministic matrix — [Always] at every orchestrated site, plus a
       worker-site run on a 4-domain pool;
    2. randomized sweep — 50 seeds, each deriving a mixed policy of
-      [Nth]/[Prob] rules over several sites.
+      [Nth]/[Prob] rules over several sites;
+   3. codegen degradation — the [Codegen_compile] site fires inside the
+      native backend's kernel compiler; every affected kernel must
+      degrade to the interpreter (recorded in the exec stats), the run
+      must complete, and outputs stay bit-identical to Prim_interp.
 
    Every run must complete, pass Plan_check, and execute bit-for-bit
    identically to the primitive interpreter on the stitched graph.
@@ -112,6 +116,89 @@ let () =
            (Faults.spec_to_string spec))
       ~jobs ~fault_seed:seed rules
   done;
+  (* Phase 3: codegen degradation. The [Codegen_compile] site fires
+     inside the native backend's kernel-cache resolve, so an injected
+     fault must cost exactly the affected kernel its compiled
+     implementation — never the run, never the outputs. *)
+  if not (Codegen.Kernel_cache.available ()) then
+    Printf.printf "skip codegen/* (no C compiler on PATH)\n%!"
+  else begin
+    let g = graph () in
+    let r = Korch.Orchestrator.run Korch.Orchestrator.default_config g in
+    let inputs = inputs_of g in
+    let ref_ = Runtime.Prim_interp.run r.Korch.Orchestrator.graph ~inputs in
+    let nk = Runtime.Plan.kernel_count r.Korch.Orchestrator.plan in
+    let native_case ~label ?(seed = 1) rules ~check =
+      Faults.with_policy ~seed rules (fun () ->
+          let stats = Runtime.Backend.fresh_exec_stats () in
+          match
+            Runtime.Executor.run ~backend:Runtime.Backend.Native ~exec_stats:stats
+              r.Korch.Orchestrator.graph r.Korch.Orchestrator.plan ~inputs
+          with
+          | exception exn ->
+            fail_case label "native run died: %s" (Printexc.to_string exn)
+          | got ->
+            if not (List.for_all2 (fun a b -> Nd.equal ~eps:0.0 a b) ref_ got) then
+              fail_case label "native output differs from Prim_interp"
+            else begin
+              match check stats with
+              | Some msg -> fail_case label "%s" msg
+              | None ->
+                Printf.printf "ok   %-28s native=%d interp=%d fallback=%d\n%!" label
+                  stats.Runtime.Backend.native_kernels
+                  stats.Runtime.Backend.interp_kernels
+                  (List.length stats.Runtime.Backend.fallbacks)
+            end)
+    in
+    (* Baseline: no policy — every kernel compiles and runs natively. *)
+    native_case ~label:"codegen/baseline" [] ~check:(fun s ->
+        if s.Runtime.Backend.fallbacks <> [] then Some "unexpected fallbacks"
+        else if s.Runtime.Backend.native_kernels <> nk then
+          Some
+            (Printf.sprintf "expected %d native kernels, got %d" nk
+               s.Runtime.Backend.native_kernels)
+        else None);
+    (* Always: every resolve faults (the check precedes the cache lookup,
+       so even warm kernels degrade); the whole plan lands on the
+       interpreter with one recorded fallback per kernel. *)
+    native_case ~label:"codegen/compile:always"
+      [ (Faults.Codegen_compile, Faults.Always) ]
+      ~check:(fun s ->
+        if s.Runtime.Backend.native_kernels <> 0 then Some "a kernel escaped the fault"
+        else if List.length s.Runtime.Backend.fallbacks <> nk then
+          Some
+            (Printf.sprintf "expected %d fallbacks, got %d" nk
+               (List.length s.Runtime.Backend.fallbacks))
+        else None);
+    (* Nth 1: exactly the first resolve faults; that one kernel degrades
+       and every other kernel still runs natively. *)
+    native_case ~label:"codegen/compile:nth=1"
+      [ (Faults.Codegen_compile, Faults.Nth 1) ]
+      ~check:(fun s ->
+        match s.Runtime.Backend.fallbacks with
+        | [ (_, reason) ] ->
+          if s.Runtime.Backend.native_kernels <> nk - 1 then
+            Some
+              (Printf.sprintf "expected %d native kernels, got %d" (nk - 1)
+                 s.Runtime.Backend.native_kernels)
+          else if not (String.length reason > 0) then Some "empty fallback reason"
+          else None
+        | l -> Some (Printf.sprintf "expected exactly 1 fallback, got %d" (List.length l)));
+    (* Prob sweep: whatever subset faults, the run completes bit-exact
+       and the accounting is consistent. *)
+    for seed = 1 to 5 do
+      native_case
+        ~label:(Printf.sprintf "codegen/compile:p=0.5/s=%d" seed)
+        ~seed
+        [ (Faults.Codegen_compile, Faults.Prob 0.5) ]
+        ~check:(fun s ->
+          if
+            s.Runtime.Backend.native_kernels + List.length s.Runtime.Backend.fallbacks
+            <> nk
+          then Some "native + fallback kernels do not cover the plan"
+          else None)
+    done
+  end;
   if !failures > 0 then begin
     Printf.printf "stress_faults: %d failure(s)\n" !failures;
     exit 1

@@ -275,6 +275,238 @@ let prop_view_slice =
       let v = View.slice (View.of_nd t) ~starts ~stops in
       Nd.equal (View.to_nd v) dense)
 
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzer: native C backend vs the interpreter.           *)
+(* ------------------------------------------------------------------ *)
+
+(* Random primitive graphs built from a small template/shape pool (so
+   kernel signatures repeat across cases and the compilation cache
+   bounds cc invocations), partitioned into random contiguous-interval
+   plans, executed on both backends, and compared to <= 1 ULP (bit
+   identity is the norm; the allowance covers libm call-site drift).
+
+   The generator emits a list of small-integer steps and derives the
+   graph deterministically from it, so qcheck's list shrinking yields a
+   minimal failing graph; the property reports the first differing
+   kernel of the shrunk case. *)
+
+open Ir
+
+(* One step: (template code, selector a, selector b). Selectors index
+   into the current node list / parameter pools modulo their size, so
+   every step list is valid by construction. *)
+type fuzz_case = { steps : (int * int * int) list; cuts : int list }
+
+let fuzz_unaries =
+  [|
+    Primitive.Exp; Primitive.Tanh; Primitive.Relu; Primitive.Sigmoid; Primitive.Gelu;
+    Primitive.Abs; Primitive.Square; Primitive.Neg; Primitive.AddConst 0.25;
+    Primitive.MulConst (-0.75); Primitive.Clip (-1.0, 1.0); Primitive.LeakyRelu 0.1;
+    Primitive.Silu; Primitive.Sqrt; Primitive.Log;
+  |]
+
+let fuzz_binaries =
+  [|
+    Primitive.Add; Primitive.Sub; Primitive.Mul; Primitive.Max; Primitive.Min;
+    Primitive.Div;
+  |]
+
+(* Build the graph from the step list. Tracks computed (non-source) node
+   ids and which of them are consumed, so sinks become graph outputs. *)
+let build_fuzz_graph (steps : (int * int * int) list) : Primgraph.t =
+  let b = Primgraph.B.create () in
+  let x0 = Primgraph.B.input b "x0" [| 2; 3 |] in
+  let x1 = Primgraph.B.input b "x1" [| 2; 3 |] in
+  let x2 = Primgraph.B.input b "x2" [| 3; 2 |] in
+  let nodes = ref [ x2; x1; x0 ] in
+  let consumed = Hashtbl.create 16 in
+  let computed = ref [] in
+  let pick sel = List.nth !nodes (sel mod List.length !nodes) in
+  let emit op inputs =
+    List.iter (fun i -> Hashtbl.replace consumed i ()) inputs;
+    let id = Primgraph.B.add b op inputs in
+    nodes := id :: !nodes;
+    computed := id :: !computed
+  in
+  List.iter
+    (fun (code, a, bsel) ->
+      let n1 = pick a in
+      let s1 = Primgraph.B.shape_of b n1 in
+      let r1 = Shape.rank s1 in
+      match code mod 10 with
+      | 0 -> emit (Primitive.Unary fuzz_unaries.(bsel mod Array.length fuzz_unaries)) [ n1 ]
+      | 1 -> begin
+        (* binary on two equal-shaped nodes (n1 paired with the first
+           match scanning from bsel; itself if none) *)
+        let len = List.length !nodes in
+        let rec find k =
+          if k = len then n1
+          else
+            let cand = List.nth !nodes ((bsel + k) mod len) in
+            if Shape.equal (Primgraph.B.shape_of b cand) s1 then cand else find (k + 1)
+        in
+        let n2 = find 0 in
+        emit (Primitive.Binary fuzz_binaries.(a mod Array.length fuzz_binaries)) [ n1; n2 ]
+      end
+      | 2 ->
+        if r1 > 0 then emit (Primitive.Reduce (Ops_reduce.Sum, bsel mod r1)) [ n1 ]
+        else emit (Primitive.Unary Primitive.Exp) [ n1 ]
+      | 3 ->
+        if r1 > 0 && bsel mod 2 = 0 then
+          emit (Primitive.Reduce (Ops_reduce.Max, bsel mod r1)) [ n1 ]
+        else emit (Primitive.Broadcast (bsel mod (r1 + 1), 2)) [ n1 ]
+      | 4 ->
+        let perm = Array.init r1 (fun i -> (i + 1 + bsel) mod r1) in
+        let seen = Array.make r1 false in
+        let ok = Array.for_all (fun p -> if seen.(p) then false else (seen.(p) <- true; true)) perm in
+        if r1 >= 2 && ok then emit (Primitive.Transpose perm) [ n1 ]
+        else emit (Primitive.Unary Primitive.Tanh) [ n1 ]
+      | 5 -> emit (Primitive.Reshape [| Shape.numel s1 |]) [ n1 ]
+      | 6 ->
+        (* matmul against a fresh weight input (keeps shapes compatible
+           without searching) *)
+        if r1 = 2 then begin
+          let k = s1.(1) in
+          let w = Primgraph.B.input b (Printf.sprintf "w%d" (List.length !nodes)) [| k; 2 |] in
+          nodes := w :: !nodes;
+          emit Primitive.Matmul [ n1; w ]
+        end
+        else emit (Primitive.Unary Primitive.Sigmoid) [ n1 ]
+      | 7 ->
+        (* concat of a node with itself: duplicate input edges exercise
+           ext/member dedup in the emitter *)
+        if r1 >= 1 then emit (Primitive.Concat (bsel mod r1)) [ n1; n1 ]
+        else emit (Primitive.Unary Primitive.Abs) [ n1 ]
+      | 8 ->
+        if r1 >= 1 && Array.for_all (fun d -> d >= 2) s1 then
+          emit
+            (Primitive.Slice
+               { starts = Array.map (fun _ -> 1) s1; stops = Array.copy s1 })
+            [ n1 ]
+        else emit (Primitive.Unary Primitive.Square) [ n1 ]
+      | _ ->
+        emit
+          (Primitive.Pad
+             { before = Array.make r1 1; after = Array.make r1 0; value = 0.5 })
+          [ n1 ])
+    steps;
+  (* Outputs: every computed node nobody consumed (ensures the plan must
+     publish real results), or the last node when everything is consumed. *)
+  let sinks = List.filter (fun id -> not (Hashtbl.mem consumed id)) !computed in
+  let outs = match (sinks, !computed) with
+    | [], last :: _ -> [ last ]
+    | s, _ -> List.rev s
+  in
+  Primgraph.B.set_outputs b outs;
+  Primgraph.B.finish b
+
+(* Partition the non-source nodes (ascending id = topological order;
+   every edge goes low id -> high id, and no path re-enters an id
+   interval, so contiguous intervals are convex) at the given cut
+   points. Each kernel publishes its boundary. *)
+let fuzz_plan (g : Primgraph.t) (cuts : int list) : Runtime.Plan.t =
+  let prims = Primgraph.non_source_nodes g in
+  let n_prims = List.length prims in
+  let n = Graph.length g in
+  let cutset =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun c -> if n_prims <= 1 then None else Some (1 + (c mod (n_prims - 1))))
+         cuts)
+  in
+  let rec split i acc cur = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | id :: rest ->
+      if List.mem i cutset && cur <> [] then split (i + 1) (List.rev cur :: acc) [ id ] rest
+      else split (i + 1) acc (id :: cur) rest
+  in
+  let groups = split 0 [] [] prims in
+  Runtime.Plan.make
+    (List.map
+       (fun members ->
+         let outputs = Graph.boundary_outputs g (Bitset.of_list n members) in
+         { Runtime.Plan.prims = members; outputs; latency_us = 1.0; backend = "fuzz" })
+       groups)
+
+let fuzz_inputs (g : Primgraph.t) : (string * Nd.t) list =
+  Array.to_list g.Graph.nodes
+  |> List.filter_map (fun nd ->
+         match nd.Graph.op with
+         | Primitive.Input name ->
+           let rng = Rng.create (1 + Hashtbl.hash name) in
+           Some (name, Nd.create nd.Graph.shape (fun _ -> Rng.uniform rng ~lo:(-2.0) ~hi:2.0))
+         | _ -> None)
+
+let gen_fuzz_case =
+  let open QCheck2.Gen in
+  let* steps =
+    list_size (int_range 1 8) (triple (int_range 0 9) (int_range 0 30) (int_range 0 30))
+  in
+  let* cuts = list_size (int_range 0 3) (int_range 0 30) in
+  return { steps; cuts }
+
+let print_fuzz_case (c : fuzz_case) =
+  let g = build_fuzz_graph c.steps in
+  let plan = fuzz_plan g c.cuts in
+  Format.asprintf "steps=[%s] cuts=[%s]@.%a@.%a"
+    (String.concat "; "
+       (List.map (fun (c', a, b) -> Printf.sprintf "(%d,%d,%d)" c' a b) c.steps))
+    (String.concat ";" (List.map string_of_int c.cuts))
+    Primgraph.pp g Runtime.Plan.pp plan
+
+let prop_native_backend_differential =
+  QCheck2.Test.make
+    ~name:"native C backend matches the interpreter on random graphs and plans (<= 1 ULP)"
+    ~count:500 ~print:print_fuzz_case gen_fuzz_case (fun c ->
+      if not (Codegen.Kernel_cache.available ()) then true
+      else begin
+        let g = build_fuzz_graph c.steps in
+        let plan = fuzz_plan g c.cuts in
+        (match Runtime.Executor.validate g plan with
+        | Ok () -> ()
+        | Error m -> QCheck2.Test.fail_reportf "fuzzer built an invalid plan: %s" m);
+        let inputs = fuzz_inputs g in
+        let expected = Runtime.Executor.run ~backend:Runtime.Backend.Interp g plan ~inputs in
+        let es = Runtime.Backend.fresh_exec_stats () in
+        let got =
+          Runtime.Executor.run ~backend:Runtime.Backend.Native ~exec_stats:es g plan
+            ~inputs
+        in
+        (* Every generated primitive is emitter-supported: a fallback is
+           a compile or verify failure, i.e. a codegen bug. *)
+        (match es.Runtime.Backend.fallbacks with
+        | [] -> ()
+        | (ki, reason) :: _ ->
+          QCheck2.Test.fail_reportf "kernel %d fell back to the interpreter: %s" (ki + 1)
+            reason);
+        List.iteri
+          (fun oi (e, a) ->
+            if not (Shape.equal (Nd.shape e) (Nd.shape a)) then
+              QCheck2.Test.fail_reportf "output %d: shape %s vs %s" oi
+                (Shape.to_string (Nd.shape a))
+                (Shape.to_string (Nd.shape e));
+            for k = 0 to Nd.numel e - 1 do
+              let u = Codegen.Native.ulp_diff (Nd.get_linear e k) (Nd.get_linear a k) in
+              if u > 1 then begin
+                (* Identify the first kernel whose published value
+                   diverges: the minimal failing kernel of this case. *)
+                let bad_node =
+                  List.find_opt
+                    (fun id -> List.mem id g.Graph.outputs)
+                    (List.concat_map
+                       (fun (k' : Runtime.Plan.kernel) -> k'.Runtime.Plan.outputs)
+                       plan.Runtime.Plan.kernels)
+                in
+                QCheck2.Test.fail_reportf
+                  "output %d element %d: native %h vs interp %h (%d ulp; first published output node %s)"
+                  oi k (Nd.get_linear a k) (Nd.get_linear e k) u
+                  (match bad_node with Some id -> string_of_int id | None -> "?")
+              end
+            done)
+          (List.combine expected got);
+        true
+      end)
+
 let () =
   Alcotest.run "props"
     [
@@ -286,4 +518,6 @@ let () =
         List.map to_alcotest
           [ prop_broadcast_commutative; prop_broadcast_scalar_identity; prop_view_transpose;
             prop_view_transpose_reshape; prop_view_slice ] );
+      ( Printf.sprintf "codegen differential (seed %#x)" qcheck_seed,
+        List.map to_alcotest [ prop_native_backend_differential ] );
     ]

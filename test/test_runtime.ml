@@ -206,6 +206,128 @@ let test_dot_redundant_copies () =
   Alcotest.(check bool) "copy in k0" true (contains ~needle:(Printf.sprintf "k0n%d" f) dot);
   Alcotest.(check bool) "copy in k1" true (contains ~needle:(Printf.sprintf "k1n%d" f) dot)
 
+(* ------------------------------------------------------------------ *)
+(* Native kernel cache: hits, staleness, corruption recovery           *)
+(* ------------------------------------------------------------------ *)
+
+let scratch_cache_dir () =
+  let d = Filename.temp_file "korch-kcache" "" in
+  Sys.remove d;
+  d
+
+let trivial_kernel_src =
+  "void korch_kernel(const double **ins, double **outs) { outs[0][0] = ins[0][0] + 1.0; }\n"
+
+let run_trivial k =
+  let outs = [| [| 0.0 |] |] in
+  Codegen.Kernel_cache.call k ~ins:[| [| 2.0 |] |] ~outs;
+  outs.(0).(0)
+
+let resolve_ok c ~signature ~source =
+  match Codegen.Kernel_cache.resolve c ~signature ~source with
+  | Ok k -> k
+  | Error m -> Alcotest.failf "resolve failed: %s" m
+
+let test_cache_compile_then_hits () =
+  if not (Codegen.Kernel_cache.available ()) then Alcotest.skip ();
+  let dir = scratch_cache_dir () in
+  let source () = trivial_kernel_src in
+  let c1 = Codegen.Kernel_cache.create ~dir () in
+  let k = resolve_ok c1 ~signature:"unit-v1|add1" ~source in
+  Alcotest.(check (float 0.0)) "kernel computes" 3.0 (run_trivial k);
+  Alcotest.(check int) "compiled once" 1 (Codegen.Kernel_cache.stats c1).Codegen.Kernel_cache.compiles;
+  (* Same signature, same process: served from memory. *)
+  let k' = resolve_ok c1 ~signature:"unit-v1|add1" ~source in
+  Alcotest.(check (float 0.0)) "memory hit works" 3.0 (run_trivial k');
+  Alcotest.(check int) "memory hit" 1 (Codegen.Kernel_cache.stats c1).Codegen.Kernel_cache.mem_hits;
+  Alcotest.(check int) "no second compile" 1
+    (Codegen.Kernel_cache.stats c1).Codegen.Kernel_cache.compiles;
+  (* Fresh instance over the same directory (a new process): the .so is
+     reused from disk without invoking cc. *)
+  let c2 = Codegen.Kernel_cache.create ~dir () in
+  let k2 = resolve_ok c2 ~signature:"unit-v1|add1" ~source in
+  Alcotest.(check (float 0.0)) "disk hit works" 3.0 (run_trivial k2);
+  Alcotest.(check int) "disk hit" 1 (Codegen.Kernel_cache.stats c2).Codegen.Kernel_cache.disk_hits;
+  Alcotest.(check int) "disk hit does not compile" 0
+    (Codegen.Kernel_cache.stats c2).Codegen.Kernel_cache.compiles
+
+let test_cache_stale_on_version_change () =
+  if not (Codegen.Kernel_cache.available ()) then Alcotest.skip ();
+  let dir = scratch_cache_dir () in
+  let c = Codegen.Kernel_cache.create ~dir () in
+  let _ = resolve_ok c ~signature:"unit-v1|k" ~source:(fun () -> trivial_kernel_src) in
+  (* A codegen version bump changes every signature (the version string
+     is a prefix of Emit.signature), so the old object is simply never
+     addressed: the new signature compiles fresh. *)
+  let src2 = "void korch_kernel(const double **ins, double **outs) { outs[0][0] = ins[0][0] * 2.0; }\n" in
+  let k2 = resolve_ok c ~signature:"unit-v2|k" ~source:(fun () -> src2) in
+  Alcotest.(check (float 0.0)) "new version's code runs" 4.0 (run_trivial k2);
+  Alcotest.(check int) "both versions compiled" 2
+    (Codegen.Kernel_cache.stats c).Codegen.Kernel_cache.compiles;
+  (* And the real emitter does embed its version in the signature. *)
+  let b = Ir.Primgraph.B.create () in
+  let x = Ir.Primgraph.B.input b "x" [| 2 |] in
+  let y = Ir.Primgraph.B.add b (Ir.Primitive.Unary Ir.Primitive.Relu) [ x ] in
+  Ir.Primgraph.B.set_outputs b [ y ];
+  let g = Ir.Primgraph.B.finish b in
+  let k = { Runtime.Plan.prims = [ y ]; outputs = [ y ]; latency_us = 1.0; backend = "t" } in
+  Alcotest.(check bool) "Emit.version prefixes the signature" true
+    (String.length (Codegen.Emit.signature g k) > String.length Codegen.Emit.version
+    && String.sub (Codegen.Emit.signature g k) 0 (String.length Codegen.Emit.version)
+       = Codegen.Emit.version)
+
+let test_cache_corrupt_entry_recompiles () =
+  if not (Codegen.Kernel_cache.available ()) then Alcotest.skip ();
+  let dir = scratch_cache_dir () in
+  let signature = "unit-v1|corrupt" in
+  let source () = trivial_kernel_src in
+  let c1 = Codegen.Kernel_cache.create ~dir () in
+  (* Plant garbage where the disk cache expects the object, before the
+     path is ever dlopen'd in this process (glibc returns the existing
+     mapping for an already-loaded pathname, which would mask the
+     corruption).  This is what a fresh process sees after a truncated
+     write or disk corruption. *)
+  let _, so_path = Codegen.Kernel_cache.paths c1 ~signature in
+  let oc = open_out_bin so_path in
+  output_string oc "not an ELF object";
+  close_out oc;
+  let c2 = c1 in
+  let k = resolve_ok c2 ~signature ~source in
+  Alcotest.(check (float 0.0)) "recompiled kernel works" 3.0 (run_trivial k);
+  Alcotest.(check int) "corruption detected" 1
+    (Codegen.Kernel_cache.stats c2).Codegen.Kernel_cache.corrupt_recompiles;
+  Alcotest.(check int) "recompiled" 1
+    (Codegen.Kernel_cache.stats c2).Codegen.Kernel_cache.compiles
+
+let test_cache_failure_memoized () =
+  if not (Codegen.Kernel_cache.available ()) then Alcotest.skip ();
+  let dir = scratch_cache_dir () in
+  let c = Codegen.Kernel_cache.create ~dir () in
+  let emissions = ref 0 in
+  let source () =
+    incr emissions;
+    "this is not a C program"
+  in
+  (match Codegen.Kernel_cache.resolve c ~signature:"unit-v1|bad" ~source with
+  | Ok _ -> Alcotest.fail "garbage source compiled?"
+  | Error _ -> ());
+  (match Codegen.Kernel_cache.resolve c ~signature:"unit-v1|bad" ~source with
+  | Ok _ -> Alcotest.fail "garbage source compiled on retry?"
+  | Error _ -> ());
+  Alcotest.(check int) "failure memoized: emitted once" 1 !emissions;
+  Alcotest.(check int) "failure counted once" 1
+    (Codegen.Kernel_cache.stats c).Codegen.Kernel_cache.failures
+
+(* The executor dispatch: unknown KORCH_BACKEND values and reuse mode. *)
+let test_backend_of_string () =
+  Alcotest.(check bool) "native" true
+    (Runtime.Backend.of_string "native" = Some Runtime.Backend.Native);
+  Alcotest.(check bool) "c alias" true
+    (Runtime.Backend.of_string "C" = Some Runtime.Backend.Native);
+  Alcotest.(check bool) "interp" true
+    (Runtime.Backend.of_string " Interp " = Some Runtime.Backend.Interp);
+  Alcotest.(check bool) "unknown" true (Runtime.Backend.of_string "cuda" = None)
+
 let () =
   Alcotest.run "runtime"
     [
@@ -229,4 +351,10 @@ let () =
           Alcotest.test_case "plan clusters" `Quick test_dot_plan_clusters;
           Alcotest.test_case "hostile labels" `Quick test_dot_hostile_labels;
           Alcotest.test_case "redundant copies" `Quick test_dot_redundant_copies ] );
+      ( "kernel cache",
+        [ Alcotest.test_case "compile then hits" `Quick test_cache_compile_then_hits;
+          Alcotest.test_case "stale on version change" `Quick test_cache_stale_on_version_change;
+          Alcotest.test_case "corrupt entry recompiles" `Quick test_cache_corrupt_entry_recompiles;
+          Alcotest.test_case "failure memoized" `Quick test_cache_failure_memoized;
+          Alcotest.test_case "backend parsing" `Quick test_backend_of_string ] );
     ]
