@@ -63,13 +63,23 @@ let record_entry ~experiment ~model ((spec, precision) : Gpu.Spec.t * Gpu.Precis
       ]
     :: !bench_entries
 
+(* Extra top-level blocks experiments may attach to the document (e.g.
+   exp_serving's "serving" summary). bin/bench_gate.exe notes and ignores
+   any top-level field it does not consume, so these enrich the artifact
+   without touching the gate. *)
+let bench_extra_blocks : (string * Obs.Jsonw.t) list ref = ref []
+
+let record_extra_block name json =
+  bench_extra_blocks := (name, json) :: List.remove_assoc name !bench_extra_blocks
+
 let bench_json () =
   Obs.Jsonw.to_string
     (Obs.Jsonw.Obj
-       [
-         ("schema", Obs.Jsonw.Str "korch-bench/1");
-         ("entries", Obs.Jsonw.List (List.rev !bench_entries));
-       ])
+       ([
+          ("schema", Obs.Jsonw.Str "korch-bench/1");
+          ("entries", Obs.Jsonw.List (List.rev !bench_entries));
+        ]
+       @ List.rev !bench_extra_blocks))
 
 type baseline_row = {
   eager_us : float;

@@ -1,0 +1,107 @@
+(* Serving-layer benchmark (extension): what the durable plan cache buys.
+
+   Drives Serve.Server.handle in process (no sockets — this measures the
+   serving ladder, not the kernel) against a throwaway cache directory:
+   one cold request per model (fission + enumerate + ILP), then a batch
+   of warm requests that must all hit the durable cache, plus one
+   deadline-pressured request on an empty cache to show the degradation
+   ladder in action. Attaches a "serving" top-level block to the
+   korch-bench/1 document via Bench_common.record_extra_block — which is
+   exactly the kind of unknown block bin/bench_gate.exe must note and
+   ignore. *)
+
+let models = [ ("candy", true); ("segformer", true) ]
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let request_json (r : Serve.Protocol.request) : Onnx.Json.t =
+  Onnx.Json.of_string (Obs.Jsonw.to_string (Serve.Protocol.request_to_json r))
+
+let field name (j : Obs.Jsonw.t) : string =
+  (* Responses are Jsonw; round-trip through the printer for inspection. *)
+  match Onnx.Json.member name (Onnx.Json.of_string (Obs.Jsonw.to_string j)) with
+  | Some (Onnx.Json.Str s) -> s
+  | _ -> "?"
+
+let run () =
+  Bench_common.section "serving: durable plan cache & degradation ladder (extension)";
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "korch-bench-serve-%d" (Unix.getpid ()))
+  in
+  rm_rf cache_dir;
+  let t =
+    Serve.Server.create
+      {
+        Serve.Server.default_config with
+        Serve.Server.cache_dir;
+        socket_path = Filename.concat cache_dir "unused.sock";
+        jobs = 1;
+      }
+  in
+  let warm_rounds = 20 in
+  let results =
+    List.map
+      (fun (model, small) ->
+        let req =
+          request_json
+            { Serve.Protocol.default_request with Serve.Protocol.verb = "optimize";
+              model = Some model; small }
+        in
+        let t0 = Bench_common.wall_clock () in
+        let cold = Serve.Server.handle t req in
+        let cold_s = Bench_common.wall_clock () -. t0 in
+        let warm_times =
+          List.init warm_rounds (fun _ ->
+              let t0 = Bench_common.wall_clock () in
+              let resp = Serve.Server.handle t req in
+              let dt = Bench_common.wall_clock () -. t0 in
+              assert (field "cache" resp = "hit");
+              dt)
+        in
+        let sorted = List.sort compare warm_times in
+        let warm_p50 = List.nth sorted (warm_rounds / 2) in
+        Bench_common.row "  %-12s cold %8.1f ms (%s)   warm p50 %8.3f ms   speedup %7.0fx\n"
+          model (cold_s *. 1e3) (field "cache" cold) (warm_p50 *. 1e3)
+          (if warm_p50 > 0.0 then cold_s /. warm_p50 else 0.0);
+        (model, cold_s, warm_p50))
+      models
+  in
+  (* Degradation ladder: an aggressive deadline on an empty cache still
+     produces an executable plan — record which tier it landed on. *)
+  let deadline_resp =
+    Serve.Server.handle t
+      (request_json
+         { Serve.Protocol.default_request with Serve.Protocol.verb = "optimize";
+           model = Some "candy"; small = true; no_cache = true;
+           deadline_ms = Some 0.5 })
+  in
+  Bench_common.row "  deadline 0.5ms (cache bypassed): status=%s tier=%s\n"
+    (field "status" deadline_resp) (field "tier" deadline_resp);
+  let stats = Serve.Plan_cache.stats (Serve.Server.cache t) in
+  Bench_common.row "  cache: %d hits / %d misses (hit rate %.2f)\n"
+    stats.Serve.Plan_cache.hits stats.Serve.Plan_cache.misses
+    (Serve.Plan_cache.hit_rate (Serve.Server.cache t));
+  Bench_common.record_extra_block "serving"
+    (Obs.Jsonw.Obj
+       [
+         ( "models",
+           Obs.Jsonw.List
+             (List.map
+                (fun (model, cold_s, warm_p50) ->
+                  Obs.Jsonw.Obj
+                    [
+                      ("model", Obs.Jsonw.Str model);
+                      ("cold_ms", Obs.Jsonw.Float (cold_s *. 1e3));
+                      ("warm_p50_ms", Obs.Jsonw.Float (warm_p50 *. 1e3));
+                    ])
+                results) );
+         ("deadline_tier", Obs.Jsonw.Str (field "tier" deadline_resp));
+         ("cache", Serve.Plan_cache.stats_to_json (Serve.Server.cache t));
+       ]);
+  rm_rf cache_dir

@@ -17,6 +17,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("multistream", "multi-stream headroom (extension)", Exp_multistream.run);
     ("parallel", "multicore segment orchestration speedup", Exp_parallel.run);
     ("native", "interpreter vs native C backend (extension)", Exp_native.run);
+    ("serving", "durable plan cache & degradation ladder (extension)", Exp_serving.run);
     ("micro", "bechamel microbenchmarks", Microbench.run);
     ("smoke", "CI bench-gate workload (fastest models)", Exp_smoke.run) ]
 

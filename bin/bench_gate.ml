@@ -63,11 +63,21 @@ let entries_of path (j : Onnx.Json.t) : entry list =
   (match Onnx.Json.member "schema" j with
   | Some (Onnx.Json.Str "korch-bench/1") -> ()
   | _ -> fail "missing or unsupported \"schema\" (want korch-bench/1)");
-  (match Onnx.Json.member "analysis" j with
-  | Some _ ->
-    Printf.printf
-      "note       %-40s document embeds an \"analysis\" block — informational, ignored\n" path
-  | None -> ());
+  (* Forward compatibility: a korch-bench/1 document may grow top-level
+     blocks this gate predates (e.g. "analysis", "serving"). Anything
+     other than the two fields the gate consumes is noted and ignored —
+     an enriched document must not turn into a bare failure. *)
+  (match j with
+  | Onnx.Json.Obj fields ->
+    List.iter
+      (fun (k, _) ->
+        if k <> "schema" && k <> "entries" then
+          Printf.printf
+            "note       %-40s document carries a top-level %S block this gate does not \
+             consume — informational, ignored\n"
+            path k)
+      fields
+  | _ -> ());
   match Onnx.Json.member "entries" j with
   | Some (Onnx.Json.List l) ->
     List.map

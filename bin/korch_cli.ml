@@ -113,7 +113,8 @@ let inject_conv =
 let inject_arg =
   let doc =
     "Inject a deterministic synthetic fault at SITE \
-     (profiler|ilp_solve|enumerate|transform|worker|onnx_parse|analysis|codegen_compile) \
+     (profiler|ilp_solve|enumerate|transform|worker|onnx_parse|analysis|codegen_compile\
+     |serve_accept|cache_io) \
      according to SPEC \
      ($(b,always), $(b,nth=K) for the K-th call, or $(b,p=P) for seeded probability P). \
      Repeatable. The orchestrator degrades the affected segment down its fallback ladder \

@@ -139,6 +139,25 @@ let write_atomic ~dir ~path (contents : string) : unit =
   close_out oc;
   Sys.rename tmp path
 
+(* Cross-process exclusion around one signature's compile. Renames keep
+   every publish atomic, but without a lock two daemons sharing a cache
+   directory would both run cc for the same signature (wasted work, and
+   interleaved [.tmp]/[.log] churn). A per-signature [.lock] file with an
+   advisory [Unix.lockf] write lock serializes them; the loser re-checks
+   the [.so] after acquiring and turns its compile into a disk hit. Lock
+   files are left in place — unlinking them is racy (a third process may
+   lock the unlinked inode while a fourth creates a fresh one). *)
+let with_file_lock (lock_path : string) (f : unit -> 'a) : 'a =
+  match Unix.openfile lock_path [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
+  | exception Unix.Unix_error _ -> f () (* degraded: in-process mutex only *)
+  | fd ->
+    let locked = match Unix.lockf fd Unix.F_LOCK 0 with () -> true | exception _ -> false in
+    Fun.protect
+      ~finally:(fun () ->
+        (if locked then try Unix.lockf fd Unix.F_ULOCK 0 with _ -> ());
+        Unix.close fd)
+      f
+
 let load_so ~c_path (so_path : string) : (compiled, string) result =
   match dl_open so_path with
   | handle -> begin
@@ -213,7 +232,11 @@ let resolve (t : t) ~(signature : string) ~(source : unit -> string) :
             end
             | Error msg -> Error msg
           in
+          (* The disk probe runs under the per-signature file lock too:
+             if another process is mid-compile we block until its rename
+             lands and then take the disk hit instead of recompiling. *)
           let result =
+            with_file_lock (so_path ^ ".lock") @@ fun () ->
             if Sys.file_exists so_path then begin
               match load_so ~c_path so_path with
               | Ok c ->

@@ -104,6 +104,14 @@ let ok_outcome = {
   transform_degraded = false;
 }
 
+(** A per-request deadline, propagated from the serving layer. [at_s] is
+    an absolute {!Obs.Clock.now_s} instant; [total_s] the full budget the
+    request started with, so pressure = remaining / total is well defined
+    however late orchestration starts. *)
+type deadline = { at_s : float; total_s : float }
+
+let deadline_in total_s = { at_s = Obs.Clock.now_s () +. total_s; total_s }
+
 type config = {
   spec : Gpu.Spec.t;
   precision : Gpu.Precision.t;
@@ -158,6 +166,15 @@ type config = {
       (** fault-injection policy installed (with [fault_seed]) for the
           duration of the run; [[]] (default) leaves injection untouched *)
   fault_seed : int;  (** seed for probabilistic fault rules *)
+  deadline : deadline option;
+      (** per-request wall-clock deadline ([None] = unconstrained, the
+          default). As the deadline approaches, each segment scales
+          [ilp_node_limit] down by the fraction of budget remaining; a
+          segment starting past the deadline skips search entirely and
+          takes the unfused floor. Deadline-pressured plans depend on
+          wall-clock, so they are {e not} reproducible across runs — the
+          serving layer only caches plans from unconstrained runs as
+          final, treating pressured ones as incumbents *)
 }
 
 let default_config =
@@ -178,6 +195,7 @@ let default_config =
     fail_fast = false;
     faults = [];
     fault_seed = 1;
+    deadline = None;
   }
 
 (** How the static-analysis hazard cross-check of the stitched plan's
@@ -441,9 +459,30 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
           fallback_reason := Some (Printf.sprintf "%s: %s" (Error.site_to_string site) detail))
       fmt
   in
-  (* Transformation search, degrading to plain CSE then the raw segment. *)
+  (* Deadline pressure: fraction of the request's budget still remaining
+     when this segment starts. 1.0 = unconstrained or plenty of time,
+     0.0 = already past the deadline. Sampled once per segment so one
+     segment's decisions are internally consistent. *)
+  let deadline_frac =
+    match cfg.deadline with
+    | None -> 1.0
+    | Some d ->
+      if d.total_s <= 0.0 then 0.0
+      else Float.max 0.0 (Float.min 1.0 ((d.at_s -. Obs.Clock.now_s ()) /. d.total_s))
+  in
+  let past_deadline = deadline_frac <= 0.0 in
+  let node_limit =
+    if deadline_frac >= 1.0 then cfg.ilp_node_limit
+    else Stdlib.max 1 (int_of_float (float_of_int cfg.ilp_node_limit *. deadline_frac))
+  in
+  if past_deadline then
+    note Error.Solve "deadline exceeded before segment solve; taking the unfused floor";
+  (* Transformation search, degrading to plain CSE then the raw segment.
+     Past the deadline the search is skipped outright — CSE is the only
+     (cheap, deterministic) cleanup still worth paying for. *)
   let transform_attempt () =
-    if cfg.use_transform then
+    if past_deadline then Transform.Cse.run seg.Partition.local
+    else if cfg.use_transform then
       Transform.Optimizer.optimize
         ~config:
           {
@@ -491,10 +530,12 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
      inside [identify]; a failure here is the enumerator itself dying. *)
   let (candidates, id_stats), identify_us =
     Obs.Clock.timed_us @@ fun () ->
-    match
-      Kernel_identifier.identify cfg.identifier ~spec:cfg.spec ~precision:cfg.precision ~cache
-        transformed
-    with
+    if past_deadline then ([||], Kernel_identifier.empty_stats)
+    else
+      match
+        Kernel_identifier.identify cfg.identifier ~spec:cfg.spec ~precision:cfg.precision
+          ~cache transformed
+      with
     | r -> r
     | exception Faults.Injected { site; hit } ->
       note Error.Enumerate "injected fault at %s (call %d)" (Faults.site_to_string site) hit;
@@ -530,7 +571,7 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
           ~extra_cuts:cuts
       in
       match
-        Lp.Ilp.solve ~max_nodes:cfg.ilp_node_limit ~time_limit_s:cfg.ilp_time_limit_s
+        Lp.Ilp.solve ~max_nodes:node_limit ~time_limit_s:cfg.ilp_time_limit_s
           ~rel_gap:cfg.ilp_rel_gap
           ~abs_gap:(cfg.ilp_abs_gap_launches *. cfg.spec.Gpu.Spec.launch_overhead_us)
           ~lazy_dependencies:true ~warm_start problem
@@ -560,6 +601,12 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
     Obs.Clock.timed_us @@ fun () ->
     Obs.Span.with_ ~name:"solve" @@ fun () ->
     if Primgraph.non_source_nodes transformed = [] then ([], 0.0, 0, Optimal, false)
+    else if past_deadline then begin
+      (* Ladder entry for an exceeded deadline: the unfused floor is the
+         cheapest schedulable plan and costs no solver time at all. *)
+      let order, obj = unfused_plan ~segment:seg_index transformed candidates singleton in
+      (order, obj, 0, Unfused, false)
+    end
     else begin
       match solve_with_cuts [] 0 with
       | Ok (order, obj, cuts, time_hit, proven) ->

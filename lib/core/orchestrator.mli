@@ -81,6 +81,14 @@ type outcome = {
     fallback. Convenient for tests. *)
 val ok_outcome : outcome
 
+(** A per-request wall-clock deadline, propagated from the serving layer
+    into orchestration. [at_s] is an absolute {!Obs.Clock.now_s} instant;
+    [total_s] is the full budget the request started with. *)
+type deadline = { at_s : float; total_s : float }
+
+(** [deadline_in total_s] — a deadline [total_s] seconds from now. *)
+val deadline_in : float -> deadline
+
 type config = {
   spec : Gpu.Spec.t;  (** target GPU datasheet *)
   precision : Gpu.Precision.t;  (** FP32 on V100, TF32 on A100 (§6.1) *)
@@ -144,6 +152,16 @@ type config = {
       (** seed for probabilistic fault rules (default 1). The same seed
           and policy reproduce the same injections — and therefore the
           same degraded plan — on every run *)
+  deadline : deadline option;
+      (** per-request wall-clock deadline ([None] = unconstrained, the
+          default). Each segment samples the remaining fraction of the
+          budget when it starts: [ilp_node_limit] is scaled down by that
+          fraction, and a segment starting past the deadline skips the
+          transformation search and enumeration entirely, taking the
+          unfused floor (recorded as a [Solve] fallback reason).
+          Deadline-pressured plans depend on wall-clock and are therefore
+          {e not} reproducible; callers that cache plans should treat
+          them as incumbents, not finals *)
 }
 
 val default_config : config

@@ -216,3 +216,63 @@ let to_json ?(meta : (string * Obs.Jsonw.t) list = [])
 
 let json_string ?meta ?execution (r : Orchestrator.result) : string =
   Obs.Jsonw.to_string (to_json ?meta ?execution r)
+
+(* ------------------------- plan round-trip ------------------------- *)
+
+(* The serving layer's durable plan cache stores plans as JSON and must
+   read back the exact plan it wrote: [Jsonw] prints floats with 17
+   significant digits and [Onnx.Json] parses them back bit-identically,
+   so write → read → write is a fixpoint. *)
+
+let plan_to_json (p : Runtime.Plan.t) : Obs.Jsonw.t =
+  let ints l = Obs.Jsonw.List (List.map (fun i -> Obs.Jsonw.Int i) l) in
+  Obs.Jsonw.Obj
+    [
+      ("total_latency_us", Obs.Jsonw.Float p.Runtime.Plan.total_latency_us);
+      ( "kernels",
+        Obs.Jsonw.List
+          (List.map
+             (fun (k : Runtime.Plan.kernel) ->
+               Obs.Jsonw.Obj
+                 [
+                   ("prims", ints k.Runtime.Plan.prims);
+                   ("outputs", ints k.Runtime.Plan.outputs);
+                   ("latency_us", Obs.Jsonw.Float k.Runtime.Plan.latency_us);
+                   ("backend", Obs.Jsonw.Str k.Runtime.Plan.backend);
+                 ])
+             p.Runtime.Plan.kernels) );
+    ]
+
+let plan_of_json (j : Onnx.Json.t) : (Runtime.Plan.t, string) result =
+  let open Onnx.Json in
+  let field name obj =
+    match member name obj with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "plan_of_json: missing field %S" name)
+  in
+  match
+    let kernels =
+      field "kernels" j |> to_list_exn
+      |> List.map (fun k ->
+             Runtime.Plan.
+               {
+                 prims = List.map to_int_exn (to_list_exn (field "prims" k));
+                 outputs = List.map to_int_exn (to_list_exn (field "outputs" k));
+                 latency_us = to_float_exn (field "latency_us" k);
+                 backend = to_string_exn (field "backend" k);
+               })
+    in
+    let p = Runtime.Plan.make kernels in
+    let declared = to_float_exn (field "total_latency_us" j) in
+    (* [make] recomputes the total from the kernels; a mismatch with the
+       stored total means the document was hand-edited or torn. *)
+    if Float.abs (declared -. p.Runtime.Plan.total_latency_us) > 1e-6 *. Float.max 1.0 declared
+    then failwith "plan_of_json: total_latency_us disagrees with kernel latencies";
+    p
+  with
+  | p -> Ok p
+  | exception Failure msg -> Error msg
+  | exception e -> Error (Printexc.to_string e)
+
+let plan_roundtrip_string (p : Runtime.Plan.t) : string =
+  Obs.Jsonw.to_string (plan_to_json p)

@@ -52,3 +52,18 @@ val json_string :
   ?execution:Obs.Jsonw.t ->
   Orchestrator.result ->
   string
+
+(** [plan_to_json p] — an executable plan as a JSON object
+    ([total_latency_us] plus one object per kernel: [prims], [outputs],
+    [latency_us], [backend]). Floats print with 17 significant digits, so
+    {!plan_of_json} recovers the plan bit-identically — the round-trip
+    the serving layer's durable plan cache depends on. *)
+val plan_to_json : Runtime.Plan.t -> Obs.Jsonw.t
+
+(** [plan_of_json j] — parse a plan written by {!plan_to_json}. Validates
+    shape and that the stored total matches the kernels (a mismatch means
+    a torn or hand-edited document); never raises. *)
+val plan_of_json : Onnx.Json.t -> (Runtime.Plan.t, string) result
+
+(** [plan_roundtrip_string p] is [plan_to_json] rendered compactly. *)
+val plan_roundtrip_string : Runtime.Plan.t -> string

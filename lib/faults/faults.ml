@@ -13,9 +13,22 @@ type site =
   | Onnx_parse
   | Analysis
   | Codegen_compile
+  | Serve_accept
+  | Cache_io
 
 let all_sites =
-  [ Profiler; Ilp_solve; Enumerate; Transform; Worker; Onnx_parse; Analysis; Codegen_compile ]
+  [
+    Profiler;
+    Ilp_solve;
+    Enumerate;
+    Transform;
+    Worker;
+    Onnx_parse;
+    Analysis;
+    Codegen_compile;
+    Serve_accept;
+    Cache_io;
+  ]
 
 let site_index = function
   | Profiler -> 0
@@ -26,8 +39,10 @@ let site_index = function
   | Onnx_parse -> 5
   | Analysis -> 6
   | Codegen_compile -> 7
+  | Serve_accept -> 8
+  | Cache_io -> 9
 
-let n_sites = 8
+let n_sites = 10
 
 let site_to_string = function
   | Profiler -> "profiler"
@@ -38,6 +53,8 @@ let site_to_string = function
   | Onnx_parse -> "onnx_parse"
   | Analysis -> "analysis"
   | Codegen_compile -> "codegen_compile"
+  | Serve_accept -> "serve_accept"
+  | Cache_io -> "cache_io"
 
 let site_of_string s =
   List.find_opt (fun site -> site_to_string site = s) all_sites
@@ -135,6 +152,8 @@ let draw ~seed ~site_idx ~call : float =
   in
   (* 53 uniform mantissa bits -> [0, 1) *)
   Int64.to_float (Int64.shift_right_logical mixed 11) /. 9007199254740992.0
+
+let uniform ~seed ~salt ~call : float = draw ~seed ~site_idx:salt ~call
 
 let check (site : site) : unit =
   match Atomic.get current with

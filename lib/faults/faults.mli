@@ -30,6 +30,13 @@ type site =
   | Codegen_compile
       (** the native backend resolving one kernel to a compiled [.so];
           injection degrades that kernel to the interpreter, never the run *)
+  | Serve_accept
+      (** {!Serve.Server} admitting one request; injection degrades
+          admission (the request is handled on a fallback path), never
+          kills the daemon or the request *)
+  | Cache_io
+      (** {!Serve.Plan_cache} touching disk (one lookup or one publish);
+          injection turns a lookup into a miss and skips a publish *)
 
 (** All sites, in declaration order. *)
 val all_sites : site list
@@ -78,3 +85,10 @@ val injected : site -> int
 (** [with_policy ?seed rules f] — install, run [f], restore the previous
     policy (and its counters' zeroed state) even on exception. *)
 val with_policy : ?seed:int -> (site * spec) list -> (unit -> 'a) -> 'a
+
+(** [uniform ~seed ~salt ~call] — the registry's splitmix64 finalizer as a
+    general deterministic uniform draw in [\[0, 1)]: a pure function of its
+    three arguments, independent of any installed policy. Other subsystems
+    that need replayable randomness (e.g. {!Serve.Retry} backoff jitter)
+    reuse this instead of growing their own RNG. *)
+val uniform : seed:int -> salt:int -> call:int -> float

@@ -123,6 +123,33 @@ let snapshot () : snapshot =
             (sorted_bindings histograms);
       })
 
+(* Percentile estimate from bucketed counts: find the bucket holding the
+   q-th observation and interpolate linearly inside it. The overflow
+   bucket has no upper bound, so it reports its lower edge. *)
+let percentile (h : histogram_snapshot) (q : float) : float =
+  if h.total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int h.total in
+    let n = Array.length h.bounds in
+    let rec find i cum =
+      if i > n then h.bounds.(n - 1)
+      else
+        let c = h.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if cum' >= rank && c > 0 then
+          if i >= n then h.bounds.(n - 1) (* overflow: lower edge *)
+          else begin
+            let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+            let hi = h.bounds.(i) in
+            let frac = if c = 0 then 0.0 else (rank -. cum) /. float_of_int c in
+            lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 frac))
+          end
+        else find (i + 1) cum'
+    in
+    find 0 0.0
+  end
+
 let snapshot_to_json (s : snapshot) : Jsonw.t =
   Jsonw.Obj
     [

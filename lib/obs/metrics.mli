@@ -56,6 +56,14 @@ type snapshot = {
 val snapshot : unit -> snapshot
 val snapshot_to_json : snapshot -> Jsonw.t
 
+(** [percentile h q] — estimate the [q]-quantile ([q] in [\[0,1\]],
+    clamped) of a histogram snapshot by linear interpolation inside the
+    bucket holding the q-th observation. Coarse by construction (bucket
+    resolution), which is the standard trade for lock-free recording;
+    serving p50/p99 endpoints read this. Returns 0 on an empty histogram;
+    observations in the overflow bucket report the last finite bound. *)
+val percentile : histogram_snapshot -> float -> float
+
 (** [to_json ()] = [snapshot_to_json (snapshot ())]. *)
 val to_json : unit -> Jsonw.t
 

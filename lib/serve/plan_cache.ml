@@ -1,0 +1,290 @@
+(** Durable content-addressed plan cache (see the interface for the
+    contract and the atomicity discipline). *)
+
+type key = { graph_hash : string; gpu : string; precision : string; batch : int }
+
+type status = Final | Incumbent
+
+let status_to_string = function Final -> "final" | Incumbent -> "incumbent"
+
+let status_of_string = function
+  | "final" -> Some Final
+  | "incumbent" -> Some Incumbent
+  | _ -> None
+
+type entry = {
+  key : key;
+  status : status;
+  graph : Ir.Primgraph.t;
+  plan : Runtime.Plan.t;
+  report : Onnx.Json.t option;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  corrupt : int;
+  io_faults : int;
+}
+
+type t = {
+  dir : string;
+  c_hits : int Atomic.t;
+  c_misses : int Atomic.t;
+  c_stores : int Atomic.t;
+  c_corrupt : int Atomic.t;
+  c_io_faults : int Atomic.t;
+}
+
+(* Process-wide census, next to the other serving metrics. *)
+let m_hits = Obs.Metrics.counter "serve.plan_cache.hits"
+let m_misses = Obs.Metrics.counter "serve.plan_cache.misses"
+let m_stores = Obs.Metrics.counter "serve.plan_cache.stores"
+let m_corrupt = Obs.Metrics.counter "serve.plan_cache.corrupt"
+let m_io_faults = Obs.Metrics.counter "serve.plan_cache.io_faults"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let create ~dir () : t =
+  mkdir_p dir;
+  {
+    dir;
+    c_hits = Atomic.make 0;
+    c_misses = Atomic.make 0;
+    c_stores = Atomic.make 0;
+    c_corrupt = Atomic.make 0;
+    c_io_faults = Atomic.make 0;
+  }
+
+let dir t = t.dir
+
+let key ~(graph : Ir.Opgraph.t) ~gpu ~precision ~batch : key =
+  {
+    graph_hash = Digest.to_hex (Digest.string (Onnx.Serialize.opgraph_to_string graph));
+    gpu;
+    precision;
+    batch;
+  }
+
+let key_string (k : key) =
+  Printf.sprintf "%s:%s:%s:%d" k.graph_hash k.gpu k.precision k.batch
+
+let entry_path (t : t) (k : key) : string =
+  Filename.concat t.dir
+    (Printf.sprintf "plan_%s.json" (Digest.to_hex (Digest.string (key_string k))))
+
+(* Same advisory-lock shape as [Codegen.Kernel_cache]: a per-entry .lock
+   file serializes concurrent daemons' publishes; lock files are never
+   unlinked (removal races a third process locking the dead inode). *)
+let with_file_lock (lock_path : string) (f : unit -> 'a) : 'a =
+  match Unix.openfile lock_path [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+    let locked = match Unix.lockf fd Unix.F_LOCK 0 with () -> true | exception _ -> false in
+    Fun.protect
+      ~finally:(fun () ->
+        (if locked then try Unix.lockf fd Unix.F_ULOCK 0 with _ -> ());
+        Unix.close fd)
+      f
+
+(* Durable atomic publish: temp file in the same directory, fsync the
+   data, rename over the target, fsync the directory so the rename itself
+   survives a crash. A kill -9 at any point leaves either the old entry
+   or the new one — never a torn file. *)
+let write_durable ~dir ~path (contents : string) : unit =
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".tmp_%d_%d_%s" (Unix.getpid ()) (Hashtbl.hash contents)
+         (Filename.basename path))
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 in
+  (try
+     let rec write off =
+       if off < String.length contents then
+         write (off + Unix.write_substring fd contents off (String.length contents - off))
+     in
+     write 0;
+     Unix.fsync fd;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with _ -> ());
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+    (try Unix.fsync dfd with _ -> ());
+    (try Unix.close dfd with _ -> ())
+
+let schema = "korch-plan-cache/1"
+
+let key_json (k : key) : Obs.Jsonw.t =
+  Obs.Jsonw.Obj
+    [
+      ("graph_hash", Obs.Jsonw.Str k.graph_hash);
+      ("gpu", Obs.Jsonw.Str k.gpu);
+      ("precision", Obs.Jsonw.Str k.precision);
+      ("batch", Obs.Jsonw.Int k.batch);
+    ]
+
+(* The entry document is assembled from already-rendered JSON fragments:
+   the primgraph prints through [Onnx.Serialize], the plan through
+   [Korch.Report.plan_to_json] — both round-trip exactly (17-digit
+   floats), which is what makes warm responses bit-identical. *)
+let render_entry (k : key) ~(status : status) ~(graph : Ir.Primgraph.t)
+    ~(plan : Runtime.Plan.t) ~(report : string) : string =
+  Printf.sprintf {|{"schema":%s,"key":%s,"status":%s,"primgraph":%s,"plan":%s,"report":%s}|}
+    (Obs.Jsonw.to_string (Obs.Jsonw.Str schema))
+    (Obs.Jsonw.to_string (key_json k))
+    (Obs.Jsonw.to_string (Obs.Jsonw.Str (status_to_string status)))
+    (Onnx.Serialize.primgraph_to_string graph)
+    (Korch.Report.plan_roundtrip_string plan)
+    (if report = "" then "null" else report)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse + validate one entry file. Any failure is "corrupt". *)
+let parse_entry (k : key) (doc : string) : (entry, string) result =
+  let open Onnx.Json in
+  let field name j =
+    match member name j with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "missing field %S" name)
+  in
+  match
+    let j = of_string doc in
+    if (match member "schema" j with Some (Str s) -> s | _ -> "") <> schema then
+      failwith "schema mismatch";
+    let kj = field "key" j in
+    let stored_key =
+      {
+        graph_hash = to_string_exn (field "graph_hash" kj);
+        gpu = to_string_exn (field "gpu" kj);
+        precision = to_string_exn (field "precision" kj);
+        batch = to_int_exn (field "batch" kj);
+      }
+    in
+    if stored_key <> k then failwith "key mismatch (hash collision or misfiled entry)";
+    let status =
+      match status_of_string (to_string_exn (field "status" j)) with
+      | Some s -> s
+      | None -> failwith "unknown status"
+    in
+    let graph =
+      Onnx.Deserialize.to_graph Onnx.Deserialize.to_primitive (field "primgraph" j)
+        ~expect_kind:"primitive"
+    in
+    let plan =
+      match Korch.Report.plan_of_json (field "plan" j) with
+      | Ok p -> p
+      | Error msg -> failwith ("plan: " ^ msg)
+    in
+    (* The recovered plan must actually execute against the recovered
+       graph — the same static check the executor would apply. *)
+    (match Runtime.Executor.validate graph plan with
+    | Ok () -> ()
+    | Error msg -> failwith ("plan does not validate against graph: " ^ msg));
+    let report = match member "report" j with Some Null | None -> None | Some r -> Some r in
+    { key = k; status; graph; plan; report }
+  with
+  | e -> Ok e
+  | exception Failure msg -> Error msg
+  | exception Onnx.Json.Parse_error (msg, off) ->
+    Error (Printf.sprintf "JSON parse error at byte %d: %s" off msg)
+  | exception Onnx.Deserialize.Format_error msg -> Error ("primgraph: " ^ msg)
+  | exception e -> Error (Printexc.to_string e)
+
+let bump t local global =
+  Atomic.incr local;
+  Obs.Metrics.incr global;
+  ignore t
+
+let lookup (t : t) (k : key) : entry option =
+  match Faults.check Faults.Cache_io with
+  | exception Faults.Injected _ ->
+    bump t t.c_io_faults m_io_faults;
+    None
+  | () -> (
+    let path = entry_path t k in
+    if not (Sys.file_exists path) then begin
+      bump t t.c_misses m_misses;
+      None
+    end
+    else
+      match read_file path with
+      | exception _ ->
+        bump t t.c_io_faults m_io_faults;
+        None
+      | doc -> (
+        match parse_entry k doc with
+        | Ok e ->
+          bump t t.c_hits m_hits;
+          Some e
+        | Error _ ->
+          (* Corrupt-entry recovery: delete and miss; a later store
+             republishes a good entry. *)
+          (try Sys.remove path with Sys_error _ -> ());
+          bump t t.c_corrupt m_corrupt;
+          bump t t.c_misses m_misses;
+          None))
+
+let store (t : t) (k : key) ~(status : status) ~(graph : Ir.Primgraph.t)
+    ~(plan : Runtime.Plan.t) ~(report : string) : unit =
+  match Faults.check Faults.Cache_io with
+  | exception Faults.Injected _ -> bump t t.c_io_faults m_io_faults
+  | () -> (
+    let path = entry_path t k in
+    match
+      with_file_lock (path ^ ".lock") @@ fun () ->
+      (* Never downgrade: a concurrent (or earlier) final entry beats an
+         incumbent produced under deadline pressure. *)
+      let existing_final =
+        status = Incumbent && Sys.file_exists path
+        &&
+        match Onnx.Json.member "status" (Onnx.Json.of_string (read_file path)) with
+        | Some (Onnx.Json.Str "final") -> true
+        | _ -> false
+        | exception _ -> false
+      in
+      if not existing_final then begin
+        write_durable ~dir:t.dir ~path (render_entry k ~status ~graph ~plan ~report);
+        bump t t.c_stores m_stores
+      end
+    with
+    | () -> ()
+    | exception _ -> bump t t.c_io_faults m_io_faults)
+
+let stats (t : t) : stats =
+  {
+    hits = Atomic.get t.c_hits;
+    misses = Atomic.get t.c_misses;
+    stores = Atomic.get t.c_stores;
+    corrupt = Atomic.get t.c_corrupt;
+    io_faults = Atomic.get t.c_io_faults;
+  }
+
+let hit_rate (t : t) : float =
+  let h = Atomic.get t.c_hits and m = Atomic.get t.c_misses in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+
+let stats_to_json (t : t) : Obs.Jsonw.t =
+  let s = stats t in
+  Obs.Jsonw.Obj
+    [
+      ("hits", Obs.Jsonw.Int s.hits);
+      ("misses", Obs.Jsonw.Int s.misses);
+      ("stores", Obs.Jsonw.Int s.stores);
+      ("corrupt", Obs.Jsonw.Int s.corrupt);
+      ("io_faults", Obs.Jsonw.Int s.io_faults);
+      ("hit_rate", Obs.Jsonw.Float (hit_rate t));
+    ]

@@ -1,0 +1,152 @@
+(** Length-prefixed framed JSON (see the interface for the wire format). *)
+
+let max_frame_bytes = 64 * 1024 * 1024
+
+exception Frame_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Frame_error msg -> Some (Printf.sprintf "Serve.Protocol.Frame_error(%s)" msg)
+    | _ -> None)
+
+let frame_fail fmt = Printf.ksprintf (fun s -> raise (Frame_error s)) fmt
+
+let header (len : int) : string =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (len land 0xff);
+  Bytes.to_string b
+
+let encode (j : Obs.Jsonw.t) : string =
+  let payload = Obs.Jsonw.to_string j in
+  let len = String.length payload in
+  if len > max_frame_bytes then frame_fail "outgoing frame of %d bytes exceeds the bound" len;
+  header len ^ payload
+
+let write_all (fd : Unix.file_descr) (s : string) : unit =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write_substring fd s off (n - off) in
+      if w = 0 then frame_fail "write returned 0 (peer gone)";
+      go (off + w)
+    end
+  in
+  go 0
+
+let write_frame (fd : Unix.file_descr) (j : Obs.Jsonw.t) : unit = write_all fd (encode j)
+
+(* Read exactly [n] bytes. [eof_ok] permits a clean EOF before the first
+   byte (between frames); EOF anywhere else is a truncated frame. *)
+let read_exact (fd : Unix.file_descr) (n : int) ~(eof_ok : bool) : Bytes.t option =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then Some buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 ->
+        if off = 0 && eof_ok then None
+        else frame_fail "connection closed mid-frame (%d of %d bytes)" off n
+      | r -> go (off + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_frame (fd : Unix.file_descr) : Onnx.Json.t option =
+  match read_exact fd 4 ~eof_ok:true with
+  | None -> None
+  | Some hdr ->
+    let len =
+      (Bytes.get_uint8 hdr 0 lsl 24)
+      lor (Bytes.get_uint8 hdr 1 lsl 16)
+      lor (Bytes.get_uint8 hdr 2 lsl 8)
+      lor Bytes.get_uint8 hdr 3
+    in
+    if len > max_frame_bytes then frame_fail "frame of %d bytes exceeds the bound" len;
+    let payload =
+      match read_exact fd len ~eof_ok:false with
+      | Some b -> Bytes.to_string b
+      | None -> assert false
+    in
+    (match Onnx.Json.of_string payload with
+    | j -> Some j
+    | exception Onnx.Json.Parse_error (msg, off) ->
+      frame_fail "unparsable frame payload at byte %d: %s" off msg)
+
+(* ------------------------------ requests ------------------------------ *)
+
+type request = {
+  verb : string;
+  model : string option;
+  graph_doc : string option;
+  small : bool;
+  batch : int;
+  gpu : string option;
+  precision : string option;
+  deadline_ms : float option;
+  backend : string option;
+  no_cache : bool;
+}
+
+let default_request =
+  {
+    verb = "health";
+    model = None;
+    graph_doc = None;
+    small = false;
+    batch = 1;
+    gpu = None;
+    precision = None;
+    deadline_ms = None;
+    backend = None;
+    no_cache = false;
+  }
+
+let request_of_json (j : Onnx.Json.t) : (request, string) result =
+  let open Onnx.Json in
+  let str name = match member name j with Some (Str s) -> Some s | _ -> None in
+  let bool_ name ~default =
+    match member name j with Some (Bool b) -> b | _ -> default
+  in
+  match member "verb" j with
+  | Some (Str verb) -> (
+    match
+      {
+        verb;
+        model = str "model";
+        graph_doc = str "graph";
+        small = bool_ "small" ~default:false;
+        batch =
+          (match member "batch" j with Some (Num _ as n) -> to_int_exn n | _ -> 1);
+        gpu = str "gpu";
+        precision = str "precision";
+        deadline_ms =
+          (match member "deadline_ms" j with
+          | Some (Num _ as n) -> Some (to_float_exn n)
+          | _ -> None);
+        backend = str "backend";
+        no_cache = bool_ "no_cache" ~default:false;
+      }
+    with
+    | r -> Ok r
+    | exception Failure msg -> Error msg)
+  | _ -> Error "request is missing the \"verb\" field"
+
+let request_to_json (r : request) : Obs.Jsonw.t =
+  let opt name v f = match v with Some x -> [ (name, f x) ] | None -> [] in
+  Obs.Jsonw.Obj
+    ([ ("verb", Obs.Jsonw.Str r.verb) ]
+    @ opt "model" r.model (fun s -> Obs.Jsonw.Str s)
+    @ opt "graph" r.graph_doc (fun s -> Obs.Jsonw.Str s)
+    @ (if r.small then [ ("small", Obs.Jsonw.Bool true) ] else [])
+    @ (if r.batch <> 1 then [ ("batch", Obs.Jsonw.Int r.batch) ] else [])
+    @ opt "gpu" r.gpu (fun s -> Obs.Jsonw.Str s)
+    @ opt "precision" r.precision (fun s -> Obs.Jsonw.Str s)
+    @ opt "deadline_ms" r.deadline_ms (fun f -> Obs.Jsonw.Float f)
+    @ opt "backend" r.backend (fun s -> Obs.Jsonw.Str s)
+    @ if r.no_cache then [ ("no_cache", Obs.Jsonw.Bool true) ] else [])
+
+let error_response ~(status : string) (msg : string) : Obs.Jsonw.t =
+  Obs.Jsonw.Obj [ ("status", Obs.Jsonw.Str status); ("error", Obs.Jsonw.Str msg) ]

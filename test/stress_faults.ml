@@ -9,7 +9,13 @@
    3. codegen degradation — the [Codegen_compile] site fires inside the
       native backend's kernel compiler; every affected kernel must
       degrade to the interpreter (recorded in the exec stats), the run
-      must complete, and outputs stay bit-identical to Prim_interp.
+      must complete, and outputs stay bit-identical to Prim_interp;
+
+   4. serving matrix — the [Serve_accept] and [Cache_io] sites fire
+      inside Serve.Server.handle (driven in process, no sockets); every
+      request must still be answered with an executable plan — status
+      "ok" or "degraded", never "error" — even with both sites firing
+      on every call under a deadline.
 
    Every run must complete, pass Plan_check, and execute bit-for-bit
    identically to the primitive interpreter on the stitched graph.
@@ -198,6 +204,85 @@ let () =
           then Some "native + fallback kernels do not cover the plan"
           else None)
     done
+  end;
+  (* Phase 4: serving matrix. Serve.Server.handle is the whole request
+     path minus the socket; with the serve_accept / cache_io seams (and
+     the orchestrated ones) firing, a request must still come back with a
+     plan — degraded at worst, never an error. *)
+  begin
+    let cache_dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "korch-stress-serve-%d" (Unix.getpid ()))
+    in
+    let rm_rf dir =
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end
+    in
+    rm_rf cache_dir;
+    let t =
+      Serve.Server.create
+        {
+          Serve.Server.default_config with
+          Serve.Server.cache_dir;
+          socket_path = Filename.concat cache_dir "unused.sock";
+          jobs = 1;
+        }
+    in
+    let request ?deadline_ms verb =
+      Onnx.Json.of_string
+        (Obs.Jsonw.to_string
+           (Serve.Protocol.request_to_json
+              { Serve.Protocol.default_request with Serve.Protocol.verb;
+                model = Some "candy"; small = true; deadline_ms }))
+    in
+    let serve_case ~label ?(seed = 1) ?deadline_ms ~verb rules =
+      Faults.with_policy ~seed rules (fun () ->
+          match Serve.Server.handle t (request ?deadline_ms verb) with
+          | exception exn -> fail_case label "handle raised: %s" (Printexc.to_string exn)
+          | resp -> (
+            let j = Onnx.Json.of_string (Obs.Jsonw.to_string resp) in
+            let str k =
+              match Onnx.Json.member k j with Some (Onnx.Json.Str s) -> s | _ -> "?"
+            in
+            match str "status" with
+            | "ok" | "degraded" ->
+              if Onnx.Json.member "plan" j = None then
+                fail_case label "response carries no plan"
+              else if verb = "run" && Onnx.Json.member "outputs" j = None then
+                fail_case label "run response carries no outputs"
+              else
+                Printf.printf "ok   %-28s status=%s tier=%s cache=%s admission=%s\n%!" label
+                  (str "status") (str "tier") (str "cache") (str "admission")
+            | s -> fail_case label "status %S (error: %s)" s (str "error")))
+    in
+    serve_case ~label:"serve/accept:always" ~verb:"optimize"
+      [ (Faults.Serve_accept, Faults.Always) ];
+    serve_case ~label:"serve/cache_io:always" ~verb:"optimize"
+      [ (Faults.Cache_io, Faults.Always) ];
+    serve_case ~label:"serve/both:always" ~verb:"run"
+      [ (Faults.Serve_accept, Faults.Always); (Faults.Cache_io, Faults.Always) ];
+    serve_case ~label:"serve/deadline+all:always" ~verb:"run" ~deadline_ms:5.0
+      [
+        (Faults.Serve_accept, Faults.Always);
+        (Faults.Cache_io, Faults.Always);
+        (Faults.Ilp_solve, Faults.Always);
+      ];
+    (* cache_io:nth=1 costs exactly the first disk touch: the lookup
+       misses, the store still publishes, so the next request warm-hits. *)
+    serve_case ~label:"serve/cache_io:nth=1" ~verb:"optimize"
+      [ (Faults.Cache_io, Faults.Nth 1) ];
+    for seed = 1 to 10 do
+      serve_case
+        ~label:(Printf.sprintf "serve/sweep/s=%d" seed)
+        ~seed ~verb:(if seed mod 2 = 0 then "run" else "optimize")
+        ?deadline_ms:(if seed mod 3 = 0 then Some 2.0 else None)
+        [ (Faults.Serve_accept, Faults.Prob 0.5); (Faults.Cache_io, Faults.Prob 0.5) ]
+    done;
+    rm_rf cache_dir
   end;
   if !failures > 0 then begin
     Printf.printf "stress_faults: %d failure(s)\n" !failures;

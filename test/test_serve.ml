@@ -1,0 +1,488 @@
+(* Tests for lib/serve: the durable plan cache (atomic publish, corrupt
+   recovery, final-over-incumbent), the framed socket protocol, the
+   seeded retry policy, latency percentiles, the in-process request
+   handler, and — the crash-safety story end to end — a forked daemon
+   that is SIGKILL'd mid-request, restarted on the same cache directory,
+   and must then serve bit-identical plans from the warm cache with zero
+   failed client requests. *)
+
+let tmp_root =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "korch-test-serve-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let fresh_dir name =
+  let d = Filename.concat tmp_root name in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+(* A fast orchestration workload shared by the cache tests. *)
+let workload =
+  lazy
+    (let g =
+       Fission.Canonicalize.fold_batch_norms
+         (Models.Segformer.attention_subgraph ~batch:1 ~tokens:16 ~channels:8 ())
+     in
+     let r = Korch.Orchestrator.run Korch.Orchestrator.default_config g in
+     (g, r))
+
+let report_string (r : Korch.Orchestrator.result) = Korch.Report.json_string r
+
+let jsonw_to_json (j : Obs.Jsonw.t) : Onnx.Json.t =
+  Onnx.Json.of_string (Obs.Jsonw.to_string j)
+
+let member_str name j =
+  match Onnx.Json.member name j with Some (Onnx.Json.Str s) -> Some s | _ -> None
+
+(* ---------------------------- plan cache ---------------------------- *)
+
+let test_cache_roundtrip () =
+  let g, r = Lazy.force workload in
+  let cache = Serve.Plan_cache.create ~dir:(fresh_dir "roundtrip") () in
+  let key = Serve.Plan_cache.key ~graph:g ~gpu:"V100" ~precision:"fp32" ~batch:1 in
+  Alcotest.(check bool) "cold lookup misses" true (Serve.Plan_cache.lookup cache key = None);
+  Serve.Plan_cache.store cache key ~status:Serve.Plan_cache.Final
+    ~graph:r.Korch.Orchestrator.graph ~plan:r.Korch.Orchestrator.plan
+    ~report:(report_string r);
+  (match Serve.Plan_cache.lookup cache key with
+  | None -> Alcotest.fail "lookup missed after store"
+  | Some e ->
+    Alcotest.(check bool) "status is final" true (e.Serve.Plan_cache.status = Serve.Plan_cache.Final);
+    Alcotest.(check string) "plan round-trips bit-identically"
+      (Korch.Report.plan_roundtrip_string r.Korch.Orchestrator.plan)
+      (Korch.Report.plan_roundtrip_string e.Serve.Plan_cache.plan);
+    Alcotest.(check bool) "report preserved" true (e.Serve.Plan_cache.report <> None));
+  let s = Serve.Plan_cache.stats cache in
+  Alcotest.(check int) "one hit" 1 s.Serve.Plan_cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Serve.Plan_cache.misses;
+  Alcotest.(check int) "one store" 1 s.Serve.Plan_cache.stores
+
+let test_cache_key_sensitivity () =
+  let g, _ = Lazy.force workload in
+  let k b p = Serve.Plan_cache.key ~graph:g ~gpu:"V100" ~precision:p ~batch:b in
+  Alcotest.(check bool) "same request, same key" true (k 1 "fp32" = k 1 "fp32");
+  Alcotest.(check bool) "batch changes the key" true (k 1 "fp32" <> k 2 "fp32");
+  Alcotest.(check bool) "precision changes the key" true (k 1 "fp32" <> k 1 "fp16")
+
+let test_cache_corrupt_recovery () =
+  let g, r = Lazy.force workload in
+  let cache = Serve.Plan_cache.create ~dir:(fresh_dir "corrupt") () in
+  let key = Serve.Plan_cache.key ~graph:g ~gpu:"V100" ~precision:"fp32" ~batch:1 in
+  Serve.Plan_cache.store cache key ~status:Serve.Plan_cache.Final
+    ~graph:r.Korch.Orchestrator.graph ~plan:r.Korch.Orchestrator.plan
+    ~report:(report_string r);
+  let path = Serve.Plan_cache.entry_path cache key in
+  (* Simulate a torn write that somehow made it to the entry path. *)
+  let oc = open_out_bin path in
+  output_string oc "{\"schema\":\"korch-plan-cache/1\", \"trunc";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry reads as a miss" true
+    (Serve.Plan_cache.lookup cache key = None);
+  Alcotest.(check bool) "corrupt entry deleted" false (Sys.file_exists path);
+  Alcotest.(check int) "corruption counted" 1 (Serve.Plan_cache.stats cache).Serve.Plan_cache.corrupt;
+  (* The cache heals: a re-store and lookup work again. *)
+  Serve.Plan_cache.store cache key ~status:Serve.Plan_cache.Final
+    ~graph:r.Korch.Orchestrator.graph ~plan:r.Korch.Orchestrator.plan
+    ~report:(report_string r);
+  Alcotest.(check bool) "healed" true (Serve.Plan_cache.lookup cache key <> None)
+
+let test_cache_final_never_downgraded () =
+  let g, r = Lazy.force workload in
+  let cache = Serve.Plan_cache.create ~dir:(fresh_dir "downgrade") () in
+  let key = Serve.Plan_cache.key ~graph:g ~gpu:"V100" ~precision:"fp32" ~batch:1 in
+  let store status =
+    Serve.Plan_cache.store cache key ~status ~graph:r.Korch.Orchestrator.graph
+      ~plan:r.Korch.Orchestrator.plan ~report:(report_string r)
+  in
+  store Serve.Plan_cache.Final;
+  store Serve.Plan_cache.Incumbent;
+  (match Serve.Plan_cache.lookup cache key with
+  | Some e ->
+    Alcotest.(check bool) "incumbent does not overwrite final" true
+      (e.Serve.Plan_cache.status = Serve.Plan_cache.Final)
+  | None -> Alcotest.fail "entry vanished");
+  (* The other direction must overwrite. *)
+  let cache2 = Serve.Plan_cache.create ~dir:(fresh_dir "upgrade") () in
+  Serve.Plan_cache.store cache2 key ~status:Serve.Plan_cache.Incumbent
+    ~graph:r.Korch.Orchestrator.graph ~plan:r.Korch.Orchestrator.plan
+    ~report:(report_string r);
+  Serve.Plan_cache.store cache2 key ~status:Serve.Plan_cache.Final
+    ~graph:r.Korch.Orchestrator.graph ~plan:r.Korch.Orchestrator.plan
+    ~report:(report_string r);
+  match Serve.Plan_cache.lookup cache2 key with
+  | Some e ->
+    Alcotest.(check bool) "final overwrites incumbent" true
+      (e.Serve.Plan_cache.status = Serve.Plan_cache.Final)
+  | None -> Alcotest.fail "entry vanished"
+
+let test_cache_io_fault_seam () =
+  let g, r = Lazy.force workload in
+  let cache = Serve.Plan_cache.create ~dir:(fresh_dir "io-fault") () in
+  let key = Serve.Plan_cache.key ~graph:g ~gpu:"V100" ~precision:"fp32" ~batch:1 in
+  Serve.Plan_cache.store cache key ~status:Serve.Plan_cache.Final
+    ~graph:r.Korch.Orchestrator.graph ~plan:r.Korch.Orchestrator.plan
+    ~report:(report_string r);
+  Faults.with_policy ~seed:1 [ (Faults.Cache_io, Faults.Always) ] (fun () ->
+      Alcotest.(check bool) "faulted lookup is a miss, not an error" true
+        (Serve.Plan_cache.lookup cache key = None);
+      (* A faulted store is skipped, not raised. *)
+      Serve.Plan_cache.store cache key ~status:Serve.Plan_cache.Final
+        ~graph:r.Korch.Orchestrator.graph ~plan:r.Korch.Orchestrator.plan
+        ~report:(report_string r));
+  Alcotest.(check bool) "entry still served once the fault clears" true
+    (Serve.Plan_cache.lookup cache key <> None);
+  Alcotest.(check bool) "io faults counted" true
+    ((Serve.Plan_cache.stats cache).Serve.Plan_cache.io_faults >= 2)
+
+(* ----------------------------- protocol ----------------------------- *)
+
+let test_protocol_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let doc =
+    Obs.Jsonw.Obj
+      [ ("verb", Obs.Jsonw.Str "optimize"); ("model", Obs.Jsonw.Str "candy");
+        ("deadline_ms", Obs.Jsonw.Float 12.5) ]
+  in
+  Serve.Protocol.write_frame a doc;
+  Serve.Protocol.write_frame a doc;
+  (match Serve.Protocol.read_frame b with
+  | Some j -> Alcotest.(check (option string)) "payload survives" (Some "candy") (member_str "model" j)
+  | None -> Alcotest.fail "unexpected EOF");
+  (match Serve.Protocol.read_frame b with
+  | Some _ -> ()
+  | None -> Alcotest.fail "second frame lost");
+  Unix.close a;
+  Alcotest.(check bool) "clean EOF between frames is None" true
+    (Serve.Protocol.read_frame b = None);
+  Unix.close b
+
+let test_protocol_truncation () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let encoded = Serve.Protocol.encode (Obs.Jsonw.Obj [ ("verb", Obs.Jsonw.Str "health") ]) in
+  (* Send the header plus half the payload, then kill the connection. *)
+  let cut = 4 + ((String.length encoded - 4) / 2) in
+  let _ = Unix.write_substring a encoded 0 cut in
+  Unix.close a;
+  (match Serve.Protocol.read_frame b with
+  | exception Serve.Protocol.Frame_error _ -> ()
+  | Some _ -> Alcotest.fail "truncated frame parsed"
+  | None -> Alcotest.fail "truncated frame read as clean EOF");
+  Unix.close b
+
+let test_protocol_oversize () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let hdr = Serve.Protocol.header (Serve.Protocol.max_frame_bytes + 1) in
+  let _ = Unix.write_substring a hdr 0 4 in
+  (match Serve.Protocol.read_frame b with
+  | exception Serve.Protocol.Frame_error _ -> ()
+  | _ -> Alcotest.fail "oversize frame accepted");
+  Unix.close a;
+  Unix.close b
+
+let test_request_roundtrip () =
+  let r =
+    {
+      Serve.Protocol.verb = "run";
+      model = Some "candy";
+      graph_doc = None;
+      small = true;
+      batch = 4;
+      gpu = Some "a100";
+      precision = Some "tf32";
+      deadline_ms = Some 7.5;
+      backend = Some "native";
+      no_cache = true;
+    }
+  in
+  match Serve.Protocol.request_of_json (jsonw_to_json (Serve.Protocol.request_to_json r)) with
+  | Ok r' -> Alcotest.(check bool) "request round-trips" true (r = r')
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------ retry ------------------------------- *)
+
+let test_retry_deterministic () =
+  let p = { Serve.Retry.default with Serve.Retry.attempts = 6 } in
+  let delays salt = List.init 6 (fun i -> Serve.Retry.delay_s p ~salt ~attempt:(i + 1)) in
+  Alcotest.(check bool) "same policy, same delays" true (delays 3 = delays 3);
+  Alcotest.(check bool) "salt moves the jitter" true (delays 3 <> delays 4);
+  List.iteri
+    (fun i d ->
+      let base =
+        Float.min p.Serve.Retry.max_delay_s
+          (p.Serve.Retry.base_delay_s *. (p.Serve.Retry.multiplier ** float_of_int i))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within jitter band" (i + 1))
+        true
+        (d >= base *. (1.0 -. p.Serve.Retry.jitter) -. 1e-9
+        && d <= base *. (1.0 +. p.Serve.Retry.jitter) +. 1e-9))
+    (delays 3)
+
+let test_retry_gives_up () =
+  let p =
+    { Serve.Retry.default with Serve.Retry.attempts = 3; base_delay_s = 0.001; max_delay_s = 0.002 }
+  in
+  let calls = ref 0 in
+  (match
+     Serve.Retry.with_retries ~policy:p
+       ~retryable:(fun _ -> true)
+       (fun () ->
+         incr calls;
+         failwith "nope")
+   with
+  | _ -> Alcotest.fail "should have raised"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "every attempt consumed" 3 !calls;
+  (* Non-retryable exceptions escape on the first attempt. *)
+  let calls = ref 0 in
+  (match
+     Serve.Retry.with_retries ~policy:p
+       ~retryable:(fun _ -> false)
+       (fun () ->
+         incr calls;
+         failwith "fatal")
+   with
+  | _ -> Alcotest.fail "should have raised"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "no retry on non-retryable" 1 !calls
+
+(* ---------------------------- percentile ---------------------------- *)
+
+let test_percentile () =
+  let h = Obs.Metrics.histogram ~bounds:[| 1.0; 10.0; 100.0 |] "test.serve.percentile" in
+  Alcotest.(check (float 1e-9)) "empty histogram" 0.0
+    (Obs.Metrics.percentile
+       (List.assoc "test.serve.percentile" (Obs.Metrics.snapshot ()).Obs.Metrics.histograms)
+       0.5);
+  for _ = 1 to 50 do
+    Obs.Metrics.observe h 0.5
+  done;
+  for _ = 1 to 50 do
+    Obs.Metrics.observe h 50.0
+  done;
+  let snap =
+    List.assoc "test.serve.percentile" (Obs.Metrics.snapshot ()).Obs.Metrics.histograms
+  in
+  let p25 = Obs.Metrics.percentile snap 0.25 in
+  let p99 = Obs.Metrics.percentile snap 0.99 in
+  Alcotest.(check bool) "p25 in the low bucket" true (p25 <= 1.0);
+  Alcotest.(check bool) "p99 in the high bucket" true (p99 > 10.0 && p99 <= 100.0);
+  Alcotest.(check bool) "percentiles are monotone" true (p25 <= p99)
+
+(* ------------------------- in-process server ------------------------- *)
+
+let handle_server t req = jsonw_to_json (Serve.Server.handle t req)
+
+let make_server name =
+  Serve.Server.create
+    {
+      Serve.Server.default_config with
+      Serve.Server.cache_dir = fresh_dir name;
+      socket_path = Filename.concat (fresh_dir name) "unused.sock";
+      jobs = 1;
+    }
+
+let request ?model ?deadline_ms ?(small = true) ?(no_cache = false) verb =
+  jsonw_to_json
+    (Serve.Protocol.request_to_json
+       { Serve.Protocol.default_request with Serve.Protocol.verb; model; small; deadline_ms;
+         no_cache })
+
+let test_handle_ladder () =
+  let t = make_server "handler" in
+  let cold = handle_server t (request ~model:"candy" "optimize") in
+  Alcotest.(check (option string)) "cold is a miss" (Some "miss") (member_str "cache" cold);
+  let warm = handle_server t (request ~model:"candy" "optimize") in
+  Alcotest.(check (option string)) "warm is a hit" (Some "hit") (member_str "cache" warm);
+  Alcotest.(check bool) "cold and warm plans bit-identical" true
+    (Option.map Onnx.Json.to_string (Onnx.Json.member "plan" cold)
+    = Option.map Onnx.Json.to_string (Onnx.Json.member "plan" warm));
+  let ran = handle_server t (request ~model:"candy" "run") in
+  Alcotest.(check (option string)) "run succeeds" (Some "ok") (member_str "status" ran);
+  Alcotest.(check bool) "run returns outputs" true (Onnx.Json.member "outputs" ran <> None)
+
+let test_handle_client_errors () =
+  let t = make_server "errors" in
+  let bad_model = handle_server t (request ~model:"no-such-model" "optimize") in
+  Alcotest.(check (option string)) "unknown model is an error" (Some "error")
+    (member_str "status" bad_model);
+  let bad_verb = handle_server t (request "frobnicate") in
+  Alcotest.(check (option string)) "unknown verb is an error" (Some "error")
+    (member_str "status" bad_verb);
+  let no_workload = handle_server t (request "optimize") in
+  Alcotest.(check (option string)) "missing workload is an error" (Some "error")
+    (member_str "status" no_workload)
+
+let test_handle_deadline_under_faults () =
+  let t = make_server "deadline" in
+  Faults.with_policy ~seed:1
+    [
+      (Faults.Serve_accept, Faults.Always);
+      (Faults.Cache_io, Faults.Always);
+      (Faults.Ilp_solve, Faults.Always);
+    ]
+    (fun () ->
+      let resp =
+        handle_server t (request ~model:"candy" ~deadline_ms:5.0 ~no_cache:true "run")
+      in
+      (match member_str "status" resp with
+      | Some ("ok" | "degraded") -> ()
+      | s -> Alcotest.fail (Printf.sprintf "expected a served plan, got status %s"
+                              (Option.value s ~default:"<none>")));
+      Alcotest.(check (option string)) "admission seam recorded" (Some "degraded")
+        (member_str "admission" resp);
+      Alcotest.(check bool) "plan present" true (Onnx.Json.member "plan" resp <> None);
+      Alcotest.(check bool) "outputs present" true (Onnx.Json.member "outputs" resp <> None))
+
+let test_stats_shape () =
+  let t = make_server "stats" in
+  ignore (handle_server t (request ~model:"candy" "optimize"));
+  let stats = jsonw_to_json (Serve.Server.stats_response t) in
+  let mem path j =
+    List.fold_left (fun acc k -> Option.bind acc (Onnx.Json.member k)) (Some j) path
+  in
+  List.iter
+    (fun path ->
+      Alcotest.(check bool)
+        (String.concat "." path ^ " present")
+        true
+        (mem path stats <> None))
+    [
+      [ "latency_us"; "optimize"; "p50_us" ];
+      [ "latency_us"; "optimize"; "p99_us" ];
+      [ "latency_us"; "run" ];
+      [ "queue"; "depth" ];
+      [ "queue"; "limit" ];
+      [ "cache"; "hit_rate" ];
+      [ "tiers"; "cached" ];
+    ]
+
+(* --------------------------- daemon, forked --------------------------- *)
+
+(* Fork a child that runs the real socket server; return its pid. *)
+let spawn_daemon ~socket ~cache_dir =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       Serve.Server.run
+         {
+           Serve.Server.default_config with
+           Serve.Server.socket_path = socket;
+           cache_dir;
+           jobs = 1;
+           queue_limit = 4;
+         }
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let client_policy =
+  (* Fast, bounded: worst case ~2s of backoff across 8 attempts. *)
+  { Serve.Retry.default with Serve.Retry.attempts = 8; base_delay_s = 0.02; max_delay_s = 0.5 }
+
+let test_daemon_kill9_warm_restart () =
+  let dir = fresh_dir "daemon" in
+  let socket = Filename.concat dir "serve.sock" in
+  let cache_dir = Filename.concat dir "cache" in
+  let failed_requests = ref 0 in
+  let ask req =
+    match
+      Serve.Client.request ~policy:client_policy ~socket (Serve.Protocol.request_to_json req)
+    with
+    | resp ->
+      (match member_str "status" resp with
+      | Some ("ok" | "degraded" | "draining") -> ()
+      | _ -> incr failed_requests);
+      resp
+    | exception _ ->
+      incr failed_requests;
+      Onnx.Json.Null
+  in
+  let optimize =
+    { Serve.Protocol.default_request with Serve.Protocol.verb = "optimize";
+      model = Some "candy"; small = true }
+  in
+  (* Generation 1: cold orchestration, then SIGKILL mid-request. *)
+  let pid1 = spawn_daemon ~socket ~cache_dir in
+  Serve.Client.wait_ready ~timeout_s:30.0 ~socket ();
+  let cold = ask optimize in
+  Alcotest.(check (option string)) "gen1 cold miss" (Some "miss") (member_str "cache" cold);
+  (* Fire a request and kill the daemon while it is being handled: the
+     client must absorb the torn connection and succeed against the
+     restarted daemon. *)
+  let victim = { optimize with Serve.Protocol.model = Some "candy"; no_cache = true } in
+  let clientpid =
+    match Unix.fork () with
+    | 0 ->
+      let resp = ask victim in
+      Unix._exit (match member_str "status" resp with Some ("ok" | "degraded") -> 0 | _ -> 1)
+    | pid -> pid
+  in
+  Unix.sleepf 0.05;
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  (* Generation 2: same socket path (now stale), same cache directory. *)
+  let pid2 = spawn_daemon ~socket ~cache_dir in
+  Serve.Client.wait_ready ~timeout_s:30.0 ~socket ();
+  let _, client_status = Unix.waitpid [] clientpid in
+  Alcotest.(check bool) "mid-request client survived the kill" true
+    (client_status = Unix.WEXITED 0);
+  let warm = ask optimize in
+  Alcotest.(check (option string)) "gen2 serves from the durable cache" (Some "hit")
+    (member_str "cache" warm);
+  Alcotest.(check (option string)) "gen2 tier is cached" (Some "cached")
+    (member_str "tier" warm);
+  Alcotest.(check bool) "gen1/gen2 plans bit-identical" true
+    (Option.map Onnx.Json.to_string (Onnx.Json.member "plan" cold)
+    = Option.map Onnx.Json.to_string (Onnx.Json.member "plan" warm));
+  (* Stats from the restarted daemon must show the warm hit. *)
+  let stats =
+    ask { Serve.Protocol.default_request with Serve.Protocol.verb = "stats" }
+  in
+  (match Option.bind (Onnx.Json.member "cache" stats) (Onnx.Json.member "hits") with
+  | Some (Onnx.Json.Num n) ->
+    Alcotest.(check bool) "restarted daemon counts the hit" true (n >= 1.0)
+  | _ -> Alcotest.fail "stats.cache.hits missing");
+  (* Drain and wait for a clean exit. *)
+  ignore (ask { Serve.Protocol.default_request with Serve.Protocol.verb = "drain" });
+  let _, st = Unix.waitpid [] pid2 in
+  Alcotest.(check bool) "daemon drained cleanly" true (st = Unix.WEXITED 0);
+  Alcotest.(check int) "zero failed client requests" 0 !failed_requests
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "plan-cache",
+        [
+          Alcotest.test_case "store/lookup roundtrip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
+          Alcotest.test_case "corrupt entry recovery" `Quick test_cache_corrupt_recovery;
+          Alcotest.test_case "final never downgraded" `Quick test_cache_final_never_downgraded;
+          Alcotest.test_case "cache_io fault seam" `Quick test_cache_io_fault_seam;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "frame roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "truncated frame" `Quick test_protocol_truncation;
+          Alcotest.test_case "oversize frame" `Quick test_protocol_oversize;
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "deterministic backoff" `Quick test_retry_deterministic;
+          Alcotest.test_case "gives up / fatal passthrough" `Quick test_retry_gives_up;
+        ] );
+      ("metrics", [ Alcotest.test_case "percentile" `Quick test_percentile ]);
+      ( "handler",
+        [
+          Alcotest.test_case "serving ladder" `Quick test_handle_ladder;
+          Alcotest.test_case "client errors" `Quick test_handle_client_errors;
+          Alcotest.test_case "deadline under faults" `Quick test_handle_deadline_under_faults;
+          Alcotest.test_case "stats shape" `Quick test_stats_shape;
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "kill -9, restart, warm hit" `Quick test_daemon_kill9_warm_restart ] );
+    ]
