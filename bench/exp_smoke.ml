@@ -7,7 +7,7 @@
    pipeline, not measurement noise. Keep this fast: it runs on every pull
    request (`dune build @bench-smoke`). *)
 
-let models = [ "candy"; "segformer" ]
+let models = [ "candy"; "segformer"; "decode" ]
 
 let run () =
   Bench_common.section "bench smoke (CI regression gate workload)";

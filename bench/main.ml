@@ -18,6 +18,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("parallel", "multicore segment orchestration speedup", Exp_parallel.run);
     ("native", "interpreter vs native C backend (extension)", Exp_native.run);
     ("serving", "durable plan cache & degradation ladder (extension)", Exp_serving.run);
+    ("decode", "transformer-decode plan tables over batch 1..256 (extension)", Exp_decode.run);
     ("micro", "bechamel microbenchmarks", Microbench.run);
     ("smoke", "CI bench-gate workload (fastest models)", Exp_smoke.run) ]
 

@@ -7,7 +7,8 @@
      korch export -m MODEL -o FILE      write the model as ONNX-JSON
      korch run FILE                     optimize + execute an ONNX-JSON graph
      korch check [-m MODEL | FILE]      static verification of every pipeline stage
-     korch analyze [-m MODEL | FILE]    abstract-interpretation lint (korch-lint/1) *)
+     korch analyze [-m MODEL | FILE]    abstract-interpretation lint (korch-lint/1)
+     korch table -m MODEL --lo A --hi B batch-parametric plan table with crossovers *)
 
 open Cmdliner
 
@@ -666,6 +667,47 @@ let run_cmd =
       $ window_arg $ jobs_arg $ verbose_arg $ inject_arg $ fault_seed_arg $ json_arg $ trace_arg
       $ assert_det $ mem_report $ backend_arg)
 
+(* ------------------------- table ------------------------ *)
+
+let table_action model gpu precision lo hi small window jobs json =
+  if lo < 1 || hi < lo then begin
+    Printf.eprintf "invalid batch range [%d, %d]: need 1 <= lo <= hi\n" lo hi;
+    exit 2
+  end;
+  let entry = find_model model in
+  let build ~batch = build_graph entry ~small ~batch in
+  let cfg = config ~spec:gpu ~precision ~window ~jobs in
+  let t0 = Obs.Clock.now_s () in
+  let tab = Korch.Plan_table.build cfg ~model ~build ~lo ~hi in
+  let wall_s = Obs.Clock.now_s () -. t0 in
+  if json then print_endline (Korch.Report.plan_table_json_string tab)
+  else begin
+    Format.printf "%a" Korch.Plan_table.pp tab;
+    Printf.printf "  wall-clock sweep: %.1f s\n" wall_s
+  end
+
+let table_cmd =
+  let lo =
+    Arg.(value & opt int 1 & info [ "lo" ] ~docv:"N" ~doc:"First batch the table covers.")
+  in
+  let hi =
+    Arg.(value & opt int 8 & info [ "hi" ] ~docv:"N" ~doc:"Last batch the table covers.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the machine-readable table document (schema korch-plan-table/1) \
+                   on stdout instead of the text summary.")
+  in
+  Cmd.v
+    (Cmd.info "table"
+       ~doc:"Build a batch-parametric plan table: orchestrate a model at doubling probe \
+             batches, group probes that chose the same plan topology into batch ranges, \
+             and refine the range boundaries into cost-model crossover batches.")
+    Term.(
+      const table_action $ model_arg $ gpu_arg $ precision_arg $ lo $ hi $ small_arg
+      $ window_arg $ jobs_arg $ json)
+
 let () =
   let info =
     Cmd.info "korch" ~version:"1.0.0"
@@ -674,4 +716,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; optimize_cmd; compare_cmd; export_cmd; run_cmd; check_cmd; analyze_cmd ]))
+          [
+            list_cmd; optimize_cmd; compare_cmd; export_cmd; run_cmd; check_cmd; analyze_cmd;
+            table_cmd;
+          ]))

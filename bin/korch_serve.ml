@@ -204,6 +204,8 @@ let request_action verb socket model graph small batch gpu precision deadline_ms
       deadline_ms;
       backend;
       no_cache;
+      batch_lo = None;
+      batch_hi = None;
     }
 
 let heavy_cmd verb doc =
@@ -211,6 +213,36 @@ let heavy_cmd verb doc =
     Term.(
       const (request_action verb) $ socket_arg $ model_arg $ graph_arg $ small_arg $ batch_arg
       $ gpu_opt_arg $ precision_opt_arg $ deadline_arg $ backend_arg $ no_cache_arg)
+
+let lo_arg =
+  Arg.(value & opt int 1 & info [ "lo" ] ~docv:"N" ~doc:"First batch the table covers.")
+
+let hi_arg =
+  Arg.(value & opt int 8 & info [ "hi" ] ~docv:"N" ~doc:"Last batch the table covers.")
+
+let table_action socket model small gpu precision lo hi no_cache =
+  send socket
+    {
+      Serve.Protocol.default_request with
+      Serve.Protocol.verb = "table";
+      model;
+      small;
+      gpu;
+      precision;
+      batch_lo = Some lo;
+      batch_hi = Some hi;
+      no_cache;
+    }
+
+let table_cmd =
+  Cmd.v
+    (Cmd.info "table"
+       ~doc:
+         "Ask a running daemon for a batch-range plan table: one orchestration sweep over \
+          probe batches, answered with per-range plans and cost-model crossover batches.")
+    Term.(
+      const table_action $ socket_arg $ model_arg $ small_arg $ gpu_opt_arg
+      $ precision_opt_arg $ lo_arg $ hi_arg $ no_cache_arg)
 
 let admin_action verb socket =
   send socket { Serve.Protocol.default_request with Serve.Protocol.verb }
@@ -230,6 +262,7 @@ let () =
             daemon_cmd;
             heavy_cmd "optimize" "Ask a running daemon for an executable plan";
             heavy_cmd "run" "Plan and execute on the daemon, printing output checksums";
+            table_cmd;
             admin_cmd "health" "Liveness probe";
             admin_cmd "stats" "Latency percentiles, queue depth, cache hit-rate, tier counts";
             admin_cmd "drain" "Stop admitting work; the daemon exits when in-flight requests finish";

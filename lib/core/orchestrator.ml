@@ -117,6 +117,20 @@ type config = {
   precision : Gpu.Precision.t;
   identifier : Kernel_identifier.config;
   partition_max_prims : int;
+  max_candidates : int;
+      (** candidate-explosion guard: a segment whose identified candidate
+          set exceeds this is deterministically pruned down to
+          [prune_candidates_to] before the BLP. Parallel same-shape
+          branches (e.g. a transformer's q/k/v projections) can blow the
+          convex-subgraph count past what branch-and-bound tolerates even
+          though every other segment of the model is routine; pruning
+          bounds the solve without touching well-behaved segments *)
+  prune_candidates_to : int;
+      (** how many candidates survive when the [max_candidates] guard
+          fires: every full singleton (the ladder floor and warm start)
+          plus the multi-primitive candidates with the largest latency
+          gain over their members' singletons, ties broken by candidate
+          index — a deterministic ranking, so pruned plans reproduce *)
   use_transform : bool;
   transform_budget : int;
   ilp_node_limit : int;
@@ -183,6 +197,8 @@ let default_config =
     precision = Gpu.Precision.FP32;
     identifier = Kernel_identifier.default_config;
     partition_max_prims = 12;
+    max_candidates = 768;
+    prune_candidates_to = 96;
     use_transform = true;
     transform_budget = 40;
     ilp_node_limit = 1200;
@@ -223,6 +239,9 @@ type segment_result = {
   transformed : Primgraph.t;
   candidates : Candidate.t array;
   id_stats : Kernel_identifier.stats;
+  pruned_candidates : int;
+      (** candidates dropped by the [max_candidates] explosion guard
+          (0 = the guard did not fire) *)
   selected : int list;  (** scheduled order of candidate indices *)
   latency_us : float;
   cuts_added : int;
@@ -325,6 +344,67 @@ let ensure_singletons (cfg : config) ~(cache : Gpu.Profile_cache.t) (g : Primgra
     (Primgraph.non_source_nodes g);
   (Array.append candidates (Array.of_list (List.rev !extra)), singleton)
 
+(* Candidate-explosion guard. Parallel same-shape branches can push a
+   segment's convex-subgraph count into the thousands, where each
+   branch-and-bound node LP (one column per candidate) costs seconds and
+   even the node budget cannot bound wall-clock usefully. When the
+   identified set exceeds [cfg.max_candidates], keep every single-member
+   candidate (the ladder floor / warm-start material) plus the
+   multi-primitive candidates with the largest latency gain over their
+   members' cheapest full singletons — the same signal greedy fusion
+   ranks by — down to [cfg.prune_candidates_to]. Ranking is (gain desc,
+   index asc): fully deterministic, so pruned plans reproduce run to
+   run. *)
+let prune_candidates (cfg : config) (g : Primgraph.t) (candidates : Candidate.t array) :
+    Candidate.t array * int =
+  let total = Array.length candidates in
+  if total <= Stdlib.max cfg.max_candidates cfg.prune_candidates_to then (candidates, 0)
+  else begin
+    let n = Graph.length g in
+    let single = Array.make n Float.infinity in
+    Array.iter
+      (fun (c : Candidate.t) ->
+        match Bitset.elements c.Candidate.members with
+        | [ id ] when c.Candidate.outputs = [ id ] ->
+          if c.Candidate.latency_us < single.(id) then single.(id) <- c.Candidate.latency_us
+        | _ -> ())
+      candidates;
+    (* A candidate touching a node with no profiled singleton gets an
+       infinite gain and ranks first — it may be the only cover for that
+       node, so dropping it risks infeasibility. *)
+    let gain (c : Candidate.t) =
+      let cover =
+        List.fold_left (fun a id -> a +. single.(id)) 0.0 (Bitset.elements c.Candidate.members)
+      in
+      cover -. c.Candidate.latency_us
+    in
+    let singles = ref [] and multis = ref [] in
+    Array.iteri
+      (fun i (c : Candidate.t) ->
+        match Bitset.elements c.Candidate.members with
+        | [ _ ] -> singles := i :: !singles
+        | _ -> multis := (gain c, i) :: !multis)
+      candidates;
+    let singles = List.rev !singles in
+    let ranked =
+      List.sort
+        (fun (g1, i1) (g2, i2) -> if g1 <> g2 then compare g2 g1 else compare i1 i2)
+        !multis
+    in
+    let budget = Stdlib.max 0 (cfg.prune_candidates_to - List.length singles) in
+    let kept = ref singles and left = ref budget in
+    List.iter
+      (fun (_g, i) ->
+        if !left > 0 then begin
+          kept := i :: !kept;
+          decr left
+        end)
+      ranked;
+    let keep = List.sort compare !kept in
+    let pruned = Array.of_list (List.map (fun i -> candidates.(i)) keep) in
+    (pruned, total - Array.length pruned)
+  end
+
 (* The unfused strategy: one kernel per primitive, in schedulable order.
    Always feasible on a DAG — each singleton waits only on its graph
    predecessors — so this is the ladder's guaranteed floor. *)
@@ -417,6 +497,7 @@ let m_tier_incumbent = Obs.Metrics.counter "orchestrator.tier.incumbent"
 let m_tier_greedy = Obs.Metrics.counter "orchestrator.tier.greedy"
 let m_tier_unfused = Obs.Metrics.counter "orchestrator.tier.unfused"
 let m_worker_retries = Obs.Metrics.counter "orchestrator.worker_retries"
+let m_candidates_pruned = Obs.Metrics.counter "orchestrator.candidates_pruned"
 
 (* Memory-planner gauges: set once per orchestration from the stitched
    plan's {!Runtime.Memplan} analysis, next to the latency metrics. *)
@@ -549,6 +630,9 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
   if cfg.fail_fast && Array.length candidates = 0
      && Primgraph.non_source_nodes transformed <> []
   then orch_fail ~segment:seg_index Error.Profile "no candidate kernels for segment";
+  (* Candidate-explosion guard (see [prune_candidates]). *)
+  let candidates, pruned_candidates = prune_candidates cfg transformed candidates in
+  if pruned_candidates > 0 then Obs.Metrics.add m_candidates_pruned pruned_candidates;
   (* Ladder floor material: every primitive gets a singleton candidate. *)
   let candidates, singleton = ensure_singletons cfg ~cache transformed candidates in
   (* Warm start: the all-singletons strategy (one kernel per primitive,
@@ -636,6 +720,7 @@ let solve_segment (cfg : config) ~(cache : Gpu.Profile_cache.t) ?(seg_index = 0)
     transformed;
     candidates;
     id_stats;
+    pruned_candidates;
     selected;
     latency_us;
     cuts_added;

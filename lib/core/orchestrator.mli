@@ -94,6 +94,29 @@ type config = {
   precision : Gpu.Precision.t;  (** FP32 on V100, TF32 on A100 (§6.1) *)
   identifier : Kernel_identifier.config;
   partition_max_prims : int;  (** segment size bound (default 12) *)
+  max_candidates : int;
+      (** candidate-explosion guard (default 768): a segment identifying
+          more candidates than this is deterministically pruned to
+          [prune_candidates_to] before the BLP. Parallel same-shape
+          branches (a transformer's q/k/v projections, say) can push the
+          convex-subgraph count past what branch-and-bound tolerates —
+          each node LP carries one column per candidate — while every
+          other segment of the model stays routine. The default sits
+          above the worst well-behaved segment in the zoo, so the guard
+          only fires on genuine explosions *)
+  prune_candidates_to : int;
+      (** surviving candidate count when the guard fires (default 96):
+          every full singleton (ladder floor and warm start) is kept,
+          then multi-primitive candidates ranked by latency gain over
+          their members' cheapest singletons (gain descending, candidate
+          index ascending — fully deterministic, so pruned plans
+          reproduce). The segment's BLP optimum is then optimal {e over
+          the pruned set}; its tier is still reported as
+          {!tier-Optimal}. The default is deliberately aggressive: on
+          the explosion-prone segments the guard exists for, larger
+          survivor sets mostly add symmetric redundant-output variants
+          that slow branch-and-bound and feed the no-good cut loop
+          unschedulable optima without improving the final plan *)
   use_transform : bool;  (** run the TASO-style optimizer per segment *)
   transform_budget : int;  (** graph expansions per segment search *)
   ilp_node_limit : int;
@@ -192,6 +215,9 @@ type segment_result = {
       (** identified candidates, extended with synthesized singleton
           candidates so the unfused floor is always available *)
   id_stats : Kernel_identifier.stats;
+  pruned_candidates : int;
+      (** candidates dropped by the [max_candidates] explosion guard
+          (0 = the guard did not fire on this segment) *)
   selected : int list;  (** scheduled order of candidate indices *)
   latency_us : float;  (** modelled latency of the selected strategy *)
   cuts_added : int;  (** no-good cuts needed before a schedulable optimum *)

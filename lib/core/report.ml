@@ -276,3 +276,123 @@ let plan_of_json (j : Onnx.Json.t) : (Runtime.Plan.t, string) result =
 
 let plan_roundtrip_string (p : Runtime.Plan.t) : string =
   Obs.Jsonw.to_string (plan_to_json p)
+
+(* ---------------------- plan-table round-trip ---------------------- *)
+
+(* [Jsonw] is write-only by design; graphs serialize through [Onnx.Json].
+   To embed a serialized graph inside a plan-table document we convert
+   the parsed value node-for-node. The conversion is value-exact:
+   [Onnx.Json.Num] carries the same float [Jsonw.Float] prints (both
+   sides print integral values without a decimal point and everything
+   else with 17 significant digits), so write → parse → write is still a
+   fixpoint. *)
+let rec jsonw_of_json : Onnx.Json.t -> Obs.Jsonw.t = function
+  | Onnx.Json.Null -> Obs.Jsonw.Null
+  | Onnx.Json.Bool b -> Obs.Jsonw.Bool b
+  | Onnx.Json.Num n -> Obs.Jsonw.Float n
+  | Onnx.Json.Str s -> Obs.Jsonw.Str s
+  | Onnx.Json.List l -> Obs.Jsonw.List (List.map jsonw_of_json l)
+  | Onnx.Json.Obj kvs -> Obs.Jsonw.Obj (List.map (fun (k, v) -> (k, jsonw_of_json v)) kvs)
+
+let plan_table_schema = "korch-plan-table/1"
+
+let range_to_json (r : Plan_table.range) : Obs.Jsonw.t =
+  Obs.Jsonw.Obj
+    [
+      ("lo", Obs.Jsonw.Int r.Plan_table.lo);
+      ("hi", Obs.Jsonw.Int r.Plan_table.hi);
+      ("probes", Obs.Jsonw.List (List.map (fun p -> Obs.Jsonw.Int p) r.Plan_table.probes));
+      ("anchor", Obs.Jsonw.Int r.Plan_table.anchor);
+      ("graph", jsonw_of_json (Onnx.Serialize.of_primgraph r.Plan_table.graph));
+      ("plan", plan_to_json r.Plan_table.plan);
+      ("signature", Obs.Jsonw.Str r.Plan_table.signature);
+      ("refined", Obs.Jsonw.Bool r.Plan_table.refined);
+    ]
+
+let plan_table_to_json (t : Plan_table.t) : Obs.Jsonw.t =
+  Obs.Jsonw.Obj
+    [
+      ("schema", Obs.Jsonw.Str plan_table_schema);
+      ("model", Obs.Jsonw.Str t.Plan_table.model);
+      ("gpu", Obs.Jsonw.Str t.Plan_table.gpu);
+      ("precision", Obs.Jsonw.Str t.Plan_table.precision);
+      ("lo", Obs.Jsonw.Int t.Plan_table.lo);
+      ("hi", Obs.Jsonw.Int t.Plan_table.hi);
+      ("crossovers", Obs.Jsonw.List (List.map (fun c -> Obs.Jsonw.Int c) t.Plan_table.crossovers));
+      ("ranges", Obs.Jsonw.List (List.map range_to_json t.Plan_table.ranges));
+    ]
+
+let plan_table_of_json (j : Onnx.Json.t) : (Plan_table.t, string) result =
+  let open Onnx.Json in
+  let field name obj =
+    match member name obj with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "plan_table_of_json: missing field %S" name)
+  in
+  match
+    (match member "schema" j with
+    | Some (Str s) when s = plan_table_schema -> ()
+    | Some (Str s) ->
+      failwith (Printf.sprintf "plan_table_of_json: unknown schema %S" s)
+    | _ -> failwith "plan_table_of_json: missing schema");
+    let range_of_json rj : Plan_table.range =
+      let graph =
+        Onnx.Deserialize.to_graph Onnx.Deserialize.to_primitive ~expect_kind:"primitive"
+          (field "graph" rj)
+      in
+      let plan =
+        match plan_of_json (field "plan" rj) with
+        | Ok p -> p
+        | Error m -> failwith (Printf.sprintf "plan_table_of_json: %s" m)
+      in
+      {
+        Plan_table.lo = to_int_exn (field "lo" rj);
+        hi = to_int_exn (field "hi" rj);
+        probes = List.map to_int_exn (to_list_exn (field "probes" rj));
+        anchor = to_int_exn (field "anchor" rj);
+        graph;
+        plan;
+        signature = to_string_exn (field "signature" rj);
+        refined =
+          (match field "refined" rj with
+          | Bool b -> b
+          | _ -> failwith "plan_table_of_json: refined must be a boolean");
+      }
+    in
+    let ranges = List.map range_of_json (to_list_exn (field "ranges" j)) in
+    if ranges = [] then failwith "plan_table_of_json: no ranges";
+    let t =
+      {
+        Plan_table.model = to_string_exn (field "model" j);
+        gpu = to_string_exn (field "gpu" j);
+        precision = to_string_exn (field "precision" j);
+        lo = to_int_exn (field "lo" j);
+        hi = to_int_exn (field "hi" j);
+        ranges;
+        crossovers = List.map to_int_exn (to_list_exn (field "crossovers" j));
+      }
+    in
+    (* The ranges must partition [lo, hi] and agree with the crossover
+       list; a violation means a torn or hand-edited document. *)
+    let rec check_cover pos = function
+      | [] -> if pos <> t.Plan_table.hi + 1 then failwith "plan_table_of_json: ranges do not cover [lo, hi]"
+      | (r : Plan_table.range) :: rest ->
+        if r.Plan_table.lo <> pos then failwith "plan_table_of_json: ranges are not contiguous";
+        if r.Plan_table.hi < r.Plan_table.lo then failwith "plan_table_of_json: empty range";
+        check_cover (r.Plan_table.hi + 1) rest
+    in
+    check_cover t.Plan_table.lo t.Plan_table.ranges;
+    if
+      t.Plan_table.crossovers
+      <> List.map (fun (r : Plan_table.range) -> r.Plan_table.lo) (List.tl t.Plan_table.ranges)
+    then failwith "plan_table_of_json: crossovers disagree with range bounds";
+    t
+  with
+  | t -> Ok t
+  | exception Failure msg -> Error msg
+  | exception Onnx.Deserialize.Format_error msg ->
+    Error (Printf.sprintf "plan_table_of_json: bad graph: %s" msg)
+  | exception e -> Error (Printexc.to_string e)
+
+let plan_table_json_string (t : Plan_table.t) : string =
+  Obs.Jsonw.to_string (plan_table_to_json t)

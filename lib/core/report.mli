@@ -67,3 +67,28 @@ val plan_of_json : Onnx.Json.t -> (Runtime.Plan.t, string) result
 
 (** [plan_roundtrip_string p] is [plan_to_json] rendered compactly. *)
 val plan_roundtrip_string : Runtime.Plan.t -> string
+
+(** [jsonw_of_json j] — value-exact conversion from a parsed
+    [Onnx.Json] document to the write-only [Obs.Jsonw] AST, used to
+    embed serialized graphs inside larger documents. Both sides print
+    numbers identically, so write → parse → write stays a fixpoint. *)
+val jsonw_of_json : Onnx.Json.t -> Obs.Jsonw.t
+
+(** [plan_table_to_json t] — a batch-parametric plan table as a JSON
+    object, schema [korch-plan-table/1]: model/GPU/precision, the
+    covered batch interval, the crossover batches, and one object per
+    range (bounds, probes, anchor, the anchor's serialized primitive
+    graph and plan, structural signature, refinement flag). Floats print
+    with 17 significant digits so {!plan_table_of_json} recovers the
+    table bit-identically. *)
+val plan_table_to_json : Plan_table.t -> Obs.Jsonw.t
+
+(** [plan_table_of_json j] — parse a table written by
+    {!plan_table_to_json}. Validates the schema string, that the ranges
+    contiguously partition [lo, hi], and that the crossover list agrees
+    with the range bounds; never raises. *)
+val plan_table_of_json : Onnx.Json.t -> (Plan_table.t, string) result
+
+(** [plan_table_json_string t] is [plan_table_to_json] rendered
+    compactly — the on-disk form the serving plan cache stores. *)
+val plan_table_json_string : Plan_table.t -> string

@@ -57,6 +57,12 @@ let backend_to_string = function
   | Vendor -> "vendor"
   | OpaqueExec -> "opaque"
 
+let backend_of_string = function
+  | "tvm" -> Some Tvm
+  | "vendor" -> Some Vendor
+  | "opaque" -> Some OpaqueExec
+  | _ -> None
+
 (** [gemm_efficiency cfg (m, n, k)] — fraction of peak matrix throughput a
     vendor GEMM achieves. Thin matrices underfill tiles: efficiency decays
     linearly below [gemm_tile] in any dimension. *)
@@ -133,6 +139,66 @@ let latency_us (cfg : config) ~(spec : Spec.t) ~(precision : Precision.t)
 (** [plan_latency_us latencies] — Eq. (2): execution strategies cost the
     sum of their kernels' latencies. *)
 let plan_latency_us (latencies : float list) = List.fold_left ( +. ) 0.0 latencies
+
+(** [substitute_shapes g shapes] — the same graph with every node's shape
+    replaced. The cost model reads a graph only through shapes and op
+    kinds ({!Stats}), so substituting the shapes a batch-parametric model
+    takes at another batch ({!Ir.Batch_sym.shapes_at}) re-prices its
+    kernels at that batch without re-running fission or stitching. Stale
+    payload numerals (Reshape targets, Broadcast sizes) are harmless
+    here: no {!Stats} quantity reads them. *)
+let substitute_shapes (g : Ir.Primgraph.t) (shapes : Tensor.Shape.t array) : Ir.Primgraph.t =
+  if Array.length shapes <> Array.length g.Ir.Graph.nodes then
+    invalid_arg "Cost_model.substitute_shapes: shape count does not match the graph";
+  {
+    g with
+    Ir.Graph.nodes =
+      Array.mapi (fun i nd -> { nd with Ir.Graph.shape = shapes.(i) }) g.Ir.Graph.nodes;
+  }
+
+(** Affine-in-batch latency summaries.
+
+    Traffic and FLOPs of a batch-parametric kernel are affine in the
+    batch, so its roofline latency is affine on each side of the
+    efficiency knees ([gemm_tile] underfill, memory- vs compute-bound
+    switchover). Fitting one affine form across probe evaluations gives a
+    cheap interpolator; [max_residual_us] reports how badly the knees
+    bend it — callers that need exactness evaluate the cost model at the
+    exact batch instead and use the summary as evidence/printing. *)
+module Batch_affine = struct
+  type t = { intercept_us : float; slope_us_per_batch : float; max_residual_us : float }
+
+  (** Least-squares affine fit over [(batch, latency_us)] probe
+      evaluations; [None] on fewer than two distinct batches. *)
+  let fit (points : (int * float) list) : t option =
+    match points with
+    | [] | [ _ ] -> None
+    | _ ->
+      let n = float_of_int (List.length points) in
+      let sx = List.fold_left (fun a (b, _) -> a +. float_of_int b) 0.0 points in
+      let sy = List.fold_left (fun a (_, l) -> a +. l) 0.0 points in
+      let sxx = List.fold_left (fun a (b, _) -> a +. (float_of_int b ** 2.0)) 0.0 points in
+      let sxy = List.fold_left (fun a (b, l) -> a +. (float_of_int b *. l)) 0.0 points in
+      let det = (n *. sxx) -. (sx *. sx) in
+      if Float.abs det < 1e-9 then None
+      else
+        let slope = ((n *. sxy) -. (sx *. sy)) /. det in
+        let intercept = (sy -. (slope *. sx)) /. n in
+        let residual =
+          List.fold_left
+            (fun acc (b, l) ->
+              Float.max acc (Float.abs (l -. (intercept +. (slope *. float_of_int b)))))
+            0.0 points
+        in
+        Some { intercept_us = intercept; slope_us_per_batch = slope; max_residual_us = residual }
+
+  let eval (t : t) (batch : int) : float =
+    t.intercept_us +. (t.slope_us_per_batch *. float_of_int batch)
+
+  let to_string (t : t) =
+    Printf.sprintf "%.3f + %.3f*b us (max residual %.3f us)" t.intercept_us
+      t.slope_us_per_batch t.max_residual_us
+end
 
 (** [workspace_bytes ~precision g members ~outputs] — modelled scratch
     footprint of running [members] as one kernel publishing [outputs]:

@@ -85,9 +85,14 @@ let layer_norm ctx x =
   let bias = weight ctx [| d |] in
   Opgraph.B.add ctx.b (Optype.LayerNorm 1e-5) [ x; scale; bias ]
 
-(** [softmax_attention ctx q k v] — standard scaled dot-product attention
-    over [B? x N x d] operands ([k]/[v] share [q]'s batch shape). *)
-let softmax_attention ctx q k v =
+(** [softmax_attention ctx ?mask q k v] — standard scaled dot-product
+    attention over [B? x N x d] operands ([k]/[v] share [q]'s batch
+    shape). [mask] is an additive score mask (0 for valid key positions,
+    a large negative number for padded ones) applied after scaling and
+    before the softmax; it must broadcast against the score shape. This
+    is the ragged-batch convention: sequences of unequal length share
+    one padded tensor and a per-sequence mask. *)
+let softmax_attention ctx ?mask q k v =
   let sq = Opgraph.B.shape_of ctx.b q in
   let r = Array.length sq in
   let d = float_of_int sq.(r - 1) in
@@ -98,6 +103,11 @@ let softmax_attention ctx q k v =
   let scores = Opgraph.B.add ctx.b Optype.MatMul [ q; kt ] in
   let scale = Opgraph.B.const ctx.b (Const.value [||] (1.0 /. sqrt d)) in
   let scaled = Opgraph.B.add ctx.b Optype.Mul [ scores; scale ] in
+  let scaled =
+    match mask with
+    | None -> scaled
+    | Some m -> Opgraph.B.add ctx.b Optype.Add [ scaled; m ]
+  in
   let probs = Opgraph.B.add ctx.b (Optype.Softmax (r - 1)) [ scaled ] in
   Opgraph.B.add ctx.b Optype.MatMul [ probs; v ]
 

@@ -62,6 +62,33 @@ let efficientvit =
       (fun ?(batch = 1) () -> Efficientvit.build ~batch ~resolution:64 ~width:4 ());
   }
 
-let all = [ candy; yolov4; yolox; segformer; efficientvit ]
+let decode =
+  {
+    name = "decode";
+    description = "transformer decode step (KV-cache append + masked attention + MLP)";
+    paper_resolution = 128 (* context length L+1 at evaluation scale *);
+    build =
+      (fun ?(batch = 1) () ->
+        Decode.build ~batch ~heads:8 ~head_dim:64 ~past_len:127 ~mlp_ratio:4 ());
+    build_small =
+      (fun ?(batch = 1) () ->
+        Decode.build ~batch ~heads:2 ~head_dim:8 ~past_len:7 ~mlp_ratio:2 ());
+  }
+
+(* Builders silently accepted batch <= 0 and produced degenerate graphs
+   that only blew up deep inside shape inference; validate once at the
+   registry boundary so every model rejects it with a message naming the
+   model. *)
+let guard_batch name (build : ?batch:int -> unit -> Opgraph.t) ?(batch = 1) () =
+  if batch <= 0 then
+    invalid_arg
+      (Printf.sprintf "Models.Registry: model %S: batch must be >= 1 (got %d)" name batch);
+  build ~batch ()
+
+let validated e =
+  { e with build = guard_batch e.name e.build; build_small = guard_batch e.name e.build_small }
+
+let all =
+  List.map validated [ candy; yolov4; yolox; segformer; efficientvit; decode ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

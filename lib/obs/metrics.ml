@@ -125,29 +125,42 @@ let snapshot () : snapshot =
 
 (* Percentile estimate from bucketed counts: find the bucket holding the
    q-th observation and interpolate linearly inside it. The overflow
-   bucket has no upper bound, so it reports its lower edge. *)
+   bucket has no upper bound, so it reports its lower edge.
+
+   The bucket walk is integer-exact. The float product [q * total] can
+   land an epsilon above the exact cumulative boundary of a bucket
+   (e.g. 0.1 * 30 = 3.0000000000000004), and the old float-cumulative
+   walk then skipped the occupied bucket ending exactly at that
+   boundary — and any empty run after it — landing one bucket too high.
+   We snap the rank to the nearest integer when it is within float
+   error of one, select the 1-based observation index k = ceil(rank)
+   (clamped so q = 0 reads the first observation and q = 1 the last),
+   and walk integer cumulative counts to the first occupied bucket
+   containing observation #k. *)
 let percentile (h : histogram_snapshot) (q : float) : float =
   if h.total = 0 then 0.0
   else begin
     let q = Float.max 0.0 (Float.min 1.0 q) in
     let rank = q *. float_of_int h.total in
+    let nearest = Float.round rank in
+    let rank =
+      if Float.abs (rank -. nearest) <= 1e-9 *. Float.max 1.0 nearest then nearest else rank
+    in
+    let k = min h.total (max 1 (int_of_float (Float.ceil rank))) in
     let n = Array.length h.bounds in
     let rec find i cum =
-      if i > n then h.bounds.(n - 1)
+      if i >= n then h.bounds.(n - 1) (* overflow: lower edge *)
       else
         let c = h.counts.(i) in
-        let cum' = cum +. float_of_int c in
-        if cum' >= rank && c > 0 then
-          if i >= n then h.bounds.(n - 1) (* overflow: lower edge *)
-          else begin
-            let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
-            let hi = h.bounds.(i) in
-            let frac = if c = 0 then 0.0 else (rank -. cum) /. float_of_int c in
-            lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 frac))
-          end
-        else find (i + 1) cum'
+        if c > 0 && cum + c >= k then begin
+          let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+          let hi = h.bounds.(i) in
+          let frac = (rank -. float_of_int cum) /. float_of_int c in
+          lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 frac))
+        end
+        else find (i + 1) (cum + c)
     in
-    find 0 0.0
+    find 0 0
   end
 
 let snapshot_to_json (s : snapshot) : Jsonw.t =

@@ -5,10 +5,16 @@
     operator-graph hash x GPU x precision x batch. A restarted daemon
     (clean or [kill -9]) warm-hits every model it ever orchestrated.
 
-    One entry is one JSON file ([plan_<md5>.json], schema
-    [korch-plan-cache/1]) embedding the stitched primitive graph, the
-    executable plan and the full korch-report/1 document. Durability
-    discipline, proven in {!Codegen.Kernel_cache}:
+    One entry is one JSON file (schema [korch-plan-cache/2]) carrying a
+    ["kind"]: [plan_<md5>.json] fixed-batch entries embed the stitched
+    primitive graph, the executable plan and the full korch-report/1
+    document; [table_<md5>.json] batch-range entries embed a
+    korch-plan-table/1 document under a (graph, gpu, precision,
+    batch-range) key. An entry whose schema string is well-formed but
+    not the current version — e.g. a v1 file in a shared directory — is
+    a {e version miss}: left on disk, served as a miss, counted in
+    [version_misses], never an error. Durability discipline, proven in
+    {!Codegen.Kernel_cache}:
 
     + {e atomic publish} — write a unique temp file in the cache
       directory, [fsync] it, [Sys.rename] over the target, [fsync] the
@@ -52,6 +58,9 @@ type stats = {
   misses : int;
   stores : int;
   corrupt : int;  (** entries deleted after failing parse/validation *)
+  version_misses : int;
+      (** entries skipped (not deleted) for carrying a foreign schema
+          version; each also counts as a miss *)
   io_faults : int;  (** injected or real I/O failures absorbed *)
 }
 
@@ -86,6 +95,37 @@ val store :
   plan:Runtime.Plan.t ->
   report:string ->
   unit
+
+(** Cache identity of one batch-range (plan-table) request.
+    [t_graph_hash] hashes the canonical operator graph instantiated at
+    batch [t_lo], so a builder change invalidates the table. *)
+type table_key = {
+  t_graph_hash : string;
+  t_gpu : string;
+  t_precision : string;
+  t_lo : int;
+  t_hi : int;
+}
+
+(** [table_key ~graph ~gpu ~precision ~lo ~hi] — key a plan table by the
+    operator graph {e at batch [lo]} plus the execution context and the
+    covered batch interval. *)
+val table_key :
+  graph:Ir.Opgraph.t -> gpu:string -> precision:string -> lo:int -> hi:int -> table_key
+
+(** Table entry file path for a key (exposed for tests). *)
+val table_path : t -> table_key -> string
+
+(** [lookup_table t k] — [Some table] on a validated hit (every range's
+    plan validates against its own graph); [None] on miss, version
+    miss, I/O failure, or a corrupt entry (deleted). Never raises. *)
+val lookup_table : t -> table_key -> Korch.Plan_table.t option
+
+(** [store_table t k table] — durably publish a batch-range entry.
+    Tables are always the product of a full probe sweep, so unlike
+    fixed-batch entries they carry no incumbent/final distinction: a
+    store overwrites. Absorbs I/O failures; never raises. *)
+val store_table : t -> table_key -> Korch.Plan_table.t -> unit
 
 val stats : t -> stats
 

@@ -88,6 +88,8 @@ type request = {
   deadline_ms : float option;
   backend : string option;
   no_cache : bool;
+  batch_lo : int option;  (* "table" verb: first batch the table covers *)
+  batch_hi : int option;  (* "table" verb: last batch the table covers *)
 }
 
 let default_request =
@@ -102,6 +104,8 @@ let default_request =
     deadline_ms = None;
     backend = None;
     no_cache = false;
+    batch_lo = None;
+    batch_hi = None;
   }
 
 let request_of_json (j : Onnx.Json.t) : (request, string) result =
@@ -128,6 +132,14 @@ let request_of_json (j : Onnx.Json.t) : (request, string) result =
           | _ -> None);
         backend = str "backend";
         no_cache = bool_ "no_cache" ~default:false;
+        batch_lo =
+          (match member "batch_lo" j with
+          | Some (Num _ as n) -> Some (to_int_exn n)
+          | _ -> None);
+        batch_hi =
+          (match member "batch_hi" j with
+          | Some (Num _ as n) -> Some (to_int_exn n)
+          | _ -> None);
       }
     with
     | r -> Ok r
@@ -146,7 +158,9 @@ let request_to_json (r : request) : Obs.Jsonw.t =
     @ opt "precision" r.precision (fun s -> Obs.Jsonw.Str s)
     @ opt "deadline_ms" r.deadline_ms (fun f -> Obs.Jsonw.Float f)
     @ opt "backend" r.backend (fun s -> Obs.Jsonw.Str s)
-    @ if r.no_cache then [ ("no_cache", Obs.Jsonw.Bool true) ] else [])
+    @ (if r.no_cache then [ ("no_cache", Obs.Jsonw.Bool true) ] else [])
+    @ opt "batch_lo" r.batch_lo (fun i -> Obs.Jsonw.Int i)
+    @ opt "batch_hi" r.batch_hi (fun i -> Obs.Jsonw.Int i))
 
 let error_response ~(status : string) (msg : string) : Obs.Jsonw.t =
   Obs.Jsonw.Obj [ ("status", Obs.Jsonw.Str status); ("error", Obs.Jsonw.Str msg) ]

@@ -36,7 +36,7 @@ val read_frame : Unix.file_descr -> Onnx.Json.t option
     identifies the workload for [optimize] / [run]; admin verbs need
     neither. *)
 type request = {
-  verb : string;  (** optimize | run | stats | health | drain *)
+  verb : string;  (** optimize | run | table | stats | health | drain *)
   model : string option;  (** zoo model name *)
   graph_doc : string option;  (** inline ONNX-JSON operator-graph document *)
   small : bool;  (** use the model's reduced test-scale build *)
@@ -46,6 +46,8 @@ type request = {
   deadline_ms : float option;  (** per-request orchestration deadline *)
   backend : string option;  (** execution backend for [run] *)
   no_cache : bool;  (** bypass the plan cache (orchestrate fresh) *)
+  batch_lo : int option;  (** [table] verb: first covered batch (default 1) *)
+  batch_hi : int option;  (** [table] verb: last covered batch *)
 }
 
 val default_request : request

@@ -50,6 +50,7 @@ let latency_bounds =
 
 let h_optimize = Obs.Metrics.histogram ~bounds:latency_bounds "serve.latency_us.optimize"
 let h_run = Obs.Metrics.histogram ~bounds:latency_bounds "serve.latency_us.run"
+let h_table = Obs.Metrics.histogram ~bounds:latency_bounds "serve.latency_us.table"
 let h_admin = Obs.Metrics.histogram ~bounds:latency_bounds "serve.latency_us.admin"
 let g_queue_depth = Obs.Metrics.gauge "serve.queue.depth"
 let g_queue_peak = Obs.Metrics.gauge "serve.queue.peak"
@@ -258,6 +259,97 @@ let plan_for t (r : Protocol.request) : served_plan =
     | _ -> serve_cached e)
   | None -> orchestrate ~cache_state:(if r.Protocol.no_cache then "bypass" else "miss")
 
+(* ----------------------------- plan tables ---------------------------- *)
+
+(* Summary response for a plan table: per-range batch intervals, anchor
+   plans' kernel counts/latencies and the crossover batches. The full
+   document (graphs + plans) lives in the durable cache, not on the wire —
+   a table over a real model is megabytes of JSON. *)
+let table_response (tab : Korch.Plan_table.t) ~(tier : string) ~(cache_state : string) :
+    Obs.Jsonw.t =
+  Obs.Jsonw.Obj
+    [
+      ("status", Obs.Jsonw.Str "ok");
+      ("tier", Obs.Jsonw.Str tier);
+      ("cache", Obs.Jsonw.Str cache_state);
+      ("model", Obs.Jsonw.Str tab.Korch.Plan_table.model);
+      ("gpu", Obs.Jsonw.Str tab.Korch.Plan_table.gpu);
+      ("precision", Obs.Jsonw.Str tab.Korch.Plan_table.precision);
+      ("lo", Obs.Jsonw.Int tab.Korch.Plan_table.lo);
+      ("hi", Obs.Jsonw.Int tab.Korch.Plan_table.hi);
+      ( "crossovers",
+        Obs.Jsonw.List
+          (List.map (fun b -> Obs.Jsonw.Int b) tab.Korch.Plan_table.crossovers) );
+      ( "ranges",
+        Obs.Jsonw.List
+          (List.map
+             (fun (r : Korch.Plan_table.range) ->
+               Obs.Jsonw.Obj
+                 [
+                   ("lo", Obs.Jsonw.Int r.Korch.Plan_table.lo);
+                   ("hi", Obs.Jsonw.Int r.Korch.Plan_table.hi);
+                   ("anchor", Obs.Jsonw.Int r.Korch.Plan_table.anchor);
+                   ( "probes",
+                     Obs.Jsonw.List
+                       (List.map (fun b -> Obs.Jsonw.Int b) r.Korch.Plan_table.probes) );
+                   ( "kernels",
+                     Obs.Jsonw.Int (Runtime.Plan.kernel_count r.Korch.Plan_table.plan) );
+                   ( "plan_latency_us",
+                     Obs.Jsonw.Float
+                       r.Korch.Plan_table.plan.Runtime.Plan.total_latency_us );
+                   ("refined", Obs.Jsonw.Bool r.Korch.Plan_table.refined);
+                 ])
+             tab.Korch.Plan_table.ranges) );
+    ]
+
+(* Serve a [table] request: a batch-range sweep over a named zoo model.
+   Inline graph documents are rejected — a table must rebuild the graph
+   at every probe batch, which only a registered builder can do. Tables
+   are always the product of an unconstrained sweep (a per-request
+   deadline is ignored): a deadline-pressured probe would make the
+   stored table wall-clock dependent. *)
+let table_for t (r : Protocol.request) : Obs.Jsonw.t =
+  let spec = spec_of_request t r in
+  let precision = precision_of_request t r in
+  let name, entry =
+    match r.Protocol.model with
+    | None ->
+      client_fail
+        "table requests name a zoo model (inline graphs cannot be rebuilt per batch)"
+    | Some name -> (
+      match Models.Registry.find name with
+      | None -> client_fail "unknown model %S" name
+      | Some e -> (name, e))
+  in
+  let lo = Option.value r.Protocol.batch_lo ~default:1 in
+  let hi =
+    match r.Protocol.batch_hi with
+    | Some h -> h
+    | None -> client_fail "table requests need \"batch_hi\""
+  in
+  if lo < 1 || hi < lo then client_fail "invalid batch range [%d, %d]" lo hi;
+  let build ~batch =
+    Fission.Canonicalize.fold_batch_norms
+      (if r.Protocol.small then entry.Models.Registry.build_small ~batch ()
+       else entry.Models.Registry.build ~batch ())
+  in
+  let key =
+    Plan_cache.table_key ~graph:(build ~batch:lo) ~gpu:spec.Gpu.Spec.name
+      ~precision:(Gpu.Precision.to_string precision) ~lo ~hi
+  in
+  let cached = if r.Protocol.no_cache then None else Plan_cache.lookup_table t.cache key in
+  match cached with
+  | Some tab ->
+    Obs.Metrics.incr m_tier_cached;
+    table_response tab ~tier:"cached" ~cache_state:"hit"
+  | None ->
+    let ocfg = { t.cfg.orch with Korch.Orchestrator.spec; precision; deadline = None } in
+    let tab = Korch.Plan_table.build ocfg ~model:name ~build ~lo ~hi in
+    Plan_cache.store_table t.cache key tab;
+    Obs.Metrics.incr m_tier_orchestrated;
+    table_response tab ~tier:"orchestrated"
+      ~cache_state:(if r.Protocol.no_cache then "bypass" else "miss")
+
 (* ------------------------------ execution ----------------------------- *)
 
 let checksum (nd : Tensor.Nd.t) : float =
@@ -357,6 +449,7 @@ let stats_response t : Obs.Jsonw.t =
           [
             ("optimize", percentile_obj snap "serve.latency_us.optimize");
             ("run", percentile_obj snap "serve.latency_us.run");
+            ("table", percentile_obj snap "serve.latency_us.table");
             ("admin", percentile_obj snap "serve.latency_us.admin");
           ] );
       ( "queue",
@@ -403,6 +496,7 @@ let handle t (j : Onnx.Json.t) : Obs.Jsonw.t =
       match req.Protocol.verb with
       | "optimize" -> h_optimize
       | "run" -> h_run
+      | "table" -> h_table
       | _ -> h_admin
     in
     match req.Protocol.verb with
@@ -417,6 +511,22 @@ let handle t (j : Onnx.Json.t) : Obs.Jsonw.t =
              ("status", Obs.Jsonw.Str "draining");
              ("in_flight", Obs.Jsonw.Int (Atomic.get t.in_flight));
            ])
+    | "table" -> (
+      match table_for t req with
+      | resp ->
+        log t "table %s lo=%d hi=%d"
+          (match req.Protocol.model with Some m -> m | None -> "<inline>")
+          (Option.value req.Protocol.batch_lo ~default:1)
+          (Option.value req.Protocol.batch_hi ~default:0);
+        finish hist resp
+      | exception Client_error msg ->
+        Obs.Metrics.incr m_errors;
+        finish hist (Protocol.error_response ~status:"error" msg)
+      | exception ((Out_of_memory | Stack_overflow | Assert_failure _) as e) -> raise e
+      | exception e ->
+        (* The sweep died mid-probe (injected fault, solver blow-up):
+           nothing was stored, the request is retryable. *)
+        finish hist (Protocol.error_response ~status:"retry" (Printexc.to_string e)))
     | "optimize" | "run" -> (
       (* Admission seam: an injected serve_accept fault degrades the
          admission path (recorded in the response) — the request is still
@@ -559,7 +669,7 @@ let run (cfg : config) : unit =
         match Onnx.Json.member "verb" j with Some (Onnx.Json.Str v) -> v | _ -> ""
       in
       match verb with
-      | "optimize" | "run" ->
+      | "optimize" | "run" | "table" ->
         if Atomic.get t.draining then begin
           (try Protocol.write_frame conn (Protocol.error_response ~status:"draining" "daemon is draining") with _ -> ());
           try Unix.close conn with _ -> ()

@@ -9,6 +9,14 @@
       the executable plan;
     + [run] — [optimize] then execute the plan on deterministic inputs,
       returning per-output checksums;
+    + [table] — build (or serve from cache) a {!Korch.Plan_table}: one
+      orchestration sweep over probe batches in [[batch_lo, batch_hi]]
+      for a {e named} zoo model (inline graphs are rejected — a table
+      must rebuild the graph at every probe batch), answered with
+      per-range summaries and crossover batches. Tables are always the
+      product of an unconstrained sweep: a per-request deadline is
+      ignored, and the durable entry carries no incumbent/final
+      distinction;
     + [health] / [stats] / [drain] — admin verbs, always handled inline
       on the accept loop so they stay responsive under load.
 
@@ -21,7 +29,7 @@
     [status = "error"].
 
     Admission control sheds load instead of queueing it: at most
-    [queue_limit] [optimize]/[run] requests are in flight; beyond that
+    [queue_limit] [optimize]/[run]/[table] requests are in flight; beyond that
     the daemon answers [{status: "overloaded"}] immediately and the
     client's seeded {!Retry} backoff spreads the re-offered load.
 

@@ -301,6 +301,87 @@ let test_orchestrator_partitioned_equivalence () =
         (Nd.allclose ~rtol:1e-4 ~atol:1e-6 e a))
     expected got
 
+(* ------------------------- plan tables ------------------------- *)
+
+let decode_build ~batch =
+  Fission.Canonicalize.fold_batch_norms
+    (Models.Registry.decode.Models.Registry.build_small ~batch ())
+
+let decode_table =
+  lazy (Korch.Plan_table.build orch_cfg ~model:"decode" ~build:decode_build ~lo:1 ~hi:8)
+
+let test_plan_table_partition () =
+  let tab = Lazy.force decode_table in
+  Alcotest.(check int) "lo" 1 tab.Korch.Plan_table.lo;
+  Alcotest.(check int) "hi" 8 tab.Korch.Plan_table.hi;
+  (* Ranges partition [lo, hi]: contiguous, ascending, covering. *)
+  let rec walk expect = function
+    | [] -> Alcotest.(check int) "ranges end at hi" (tab.Korch.Plan_table.hi + 1) expect
+    | (r : Korch.Plan_table.range) :: rest ->
+      Alcotest.(check int) "range starts where the previous ended" expect
+        r.Korch.Plan_table.lo;
+      Alcotest.(check bool) "range non-empty" true
+        (r.Korch.Plan_table.lo <= r.Korch.Plan_table.hi);
+      Alcotest.(check bool) "anchor inside the range" true
+        (r.Korch.Plan_table.anchor >= r.Korch.Plan_table.lo
+        && r.Korch.Plan_table.anchor <= r.Korch.Plan_table.hi);
+      walk (r.Korch.Plan_table.hi + 1) rest
+  in
+  walk tab.Korch.Plan_table.lo tab.Korch.Plan_table.ranges;
+  Alcotest.(check (list int)) "crossovers are the later range starts"
+    (List.map
+       (fun (r : Korch.Plan_table.range) -> r.Korch.Plan_table.lo)
+       (List.tl tab.Korch.Plan_table.ranges))
+    tab.Korch.Plan_table.crossovers;
+  (* Every batch in the range resolves to a plan. *)
+  for b = 1 to 8 do
+    match Korch.Plan_table.plan_for_batch tab b with
+    | Some _ -> ()
+    | None -> Alcotest.fail (Printf.sprintf "no plan for batch %d" b)
+  done;
+  Alcotest.(check bool) "out of range is None" true
+    (Korch.Plan_table.plan_for_batch tab 9 = None)
+
+let test_plan_table_anchor_identity () =
+  (* A range's stored plan is the verbatim fixed-batch orchestration
+     output at its anchor — same config, same graph, bit for bit. *)
+  let tab = Lazy.force decode_table in
+  List.iter
+    (fun (r : Korch.Plan_table.range) ->
+      let fixed = Korch.Orchestrator.run orch_cfg (decode_build ~batch:r.Korch.Plan_table.anchor) in
+      Alcotest.(check bool) "anchor graph bit-identical" true
+        (r.Korch.Plan_table.graph = fixed.Korch.Orchestrator.graph);
+      Alcotest.(check string) "anchor plan bit-identical"
+        (Korch.Report.plan_roundtrip_string fixed.Korch.Orchestrator.plan)
+        (Korch.Report.plan_roundtrip_string r.Korch.Plan_table.plan))
+    tab.Korch.Plan_table.ranges
+
+let test_plan_table_json_roundtrip () =
+  let tab = Lazy.force decode_table in
+  let s1 = Korch.Report.plan_table_json_string tab in
+  match Korch.Report.plan_table_of_json (Onnx.Json.of_string s1) with
+  | Error m -> Alcotest.fail ("plan table failed to parse back: " ^ m)
+  | Ok tab' ->
+    Alcotest.(check string) "JSON round-trips bit-identically" s1
+      (Korch.Report.plan_table_json_string tab')
+
+let test_plan_table_single_range () =
+  (* Degenerate sweep: lo = hi. One range, one probe, no crossovers —
+     and its JSON round-trips like any other table. *)
+  let tab = Korch.Plan_table.build orch_cfg ~model:"decode" ~build:decode_build ~lo:2 ~hi:2 in
+  Alcotest.(check int) "one range" 1 (List.length tab.Korch.Plan_table.ranges);
+  let r = List.hd tab.Korch.Plan_table.ranges in
+  Alcotest.(check int) "range lo" 2 r.Korch.Plan_table.lo;
+  Alcotest.(check int) "range hi" 2 r.Korch.Plan_table.hi;
+  Alcotest.(check int) "anchor" 2 r.Korch.Plan_table.anchor;
+  Alcotest.(check (list int)) "no crossovers" [] tab.Korch.Plan_table.crossovers;
+  let s = Korch.Report.plan_table_json_string tab in
+  match Korch.Report.plan_table_of_json (Onnx.Json.of_string s) with
+  | Ok tab' ->
+    Alcotest.(check string) "degenerate table round-trips" s
+      (Korch.Report.plan_table_json_string tab')
+  | Error m -> Alcotest.fail ("degenerate table failed to parse back: " ^ m)
+
 let () =
   Alcotest.run "core"
     [
@@ -329,4 +410,10 @@ let () =
           Alcotest.test_case "softmax split" `Quick test_orchestrator_softmax_fissioned_into_multiple_kernels;
           Alcotest.test_case "redundancy valid" `Quick test_orchestrator_redundancy_nonnegative;
           Alcotest.test_case "partitioned equivalence" `Quick test_orchestrator_partitioned_equivalence ] );
+      ( "plan table",
+        [ Alcotest.test_case "ranges partition the sweep" `Quick test_plan_table_partition;
+          Alcotest.test_case "anchors bit-identical to fixed orchestration" `Quick
+            test_plan_table_anchor_identity;
+          Alcotest.test_case "JSON roundtrip" `Quick test_plan_table_json_roundtrip;
+          Alcotest.test_case "single-range degenerate" `Quick test_plan_table_single_range ] );
     ]

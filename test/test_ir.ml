@@ -246,6 +246,71 @@ let test_const_materialize () =
   Alcotest.(check bool) "scaled = 0.5 * unscaled" true
     (Nd.equal c (Tensor.Ops_elementwise.mul_scalar 0.5 a))
 
+(* ---------------- batch_sym ---------------- *)
+
+(* A tiny batch-parametric builder exercising the payload rewrites:
+   a Reshape whose target carries the batch, plus fixed structure. *)
+let batch_sym_graph ~batch =
+  let b = Opgraph.B.create () in
+  let x = Opgraph.B.input b "x" [| batch; 4; 4 |] in
+  let r = Opgraph.B.add b (Optype.Reshape [| batch; 16 |]) [ x ] in
+  let y = Opgraph.B.add b Optype.Relu [ r ] in
+  Opgraph.B.set_outputs b [ y ];
+  Opgraph.B.finish b
+
+let test_batch_sym_fit_dim () =
+  (match Batch_sym.fit_dim ~b1:1 ~v1:5 ~b2:3 ~v2:9 with
+  | Some d ->
+    Alcotest.(check int) "coeff" 2 d.Batch_sym.coeff;
+    Alcotest.(check int) "const" 3 d.Batch_sym.const;
+    Alcotest.(check int) "eval at 7" 17 (Batch_sym.eval_dim d 7)
+  | None -> Alcotest.fail "affine pair must fit");
+  (match Batch_sym.fit_dim ~b1:1 ~v1:3 ~b2:3 ~v2:3 with
+  | Some d -> Alcotest.(check int) "structural axis has coeff 0" 0 d.Batch_sym.coeff
+  | None -> Alcotest.fail "constant pair must fit");
+  Alcotest.(check bool) "non-integral slope rejected" true
+    (Batch_sym.fit_dim ~b1:1 ~v1:1 ~b2:3 ~v2:2 = None);
+  Alcotest.(check bool) "negative constant rejected" true
+    (Batch_sym.fit_dim ~b1:1 ~v1:1 ~b2:3 ~v2:9 = None);
+  Alcotest.(check_raises) "b1 = b2 rejected"
+    (Invalid_argument "Batch_sym.fit_dim: b1 = b2") (fun () ->
+      ignore (Batch_sym.fit_dim ~b1:2 ~v1:1 ~b2:2 ~v2:1))
+
+let test_batch_sym_specialize () =
+  let g2 = batch_sym_graph ~batch:2 and g3 = batch_sym_graph ~batch:3 in
+  match Batch_sym.fit_opgraph ~b1:2 g2 ~b2:3 g3 with
+  | Error m -> Alcotest.fail ("fit failed: " ^ m)
+  | Ok t -> (
+    match Batch_sym.specialize t ~batch:5 with
+    | Error m -> Alcotest.fail ("specialize failed: " ^ m)
+    | Ok g5 ->
+      Alcotest.(check bool) "specialization reproduces the builder" true
+        (g5 = batch_sym_graph ~batch:5);
+      Alcotest.(check bool) "base batch reproduced too" true
+        (Batch_sym.specialize t ~batch:2 = Ok g2))
+
+let test_batch_sym_check_affine () =
+  let g ~batch = batch_sym_graph ~batch in
+  (match
+     Batch_sym.check_affine ~b1:1 (g ~batch:1) ~b2:2 (g ~batch:2) ~probe:7 (g ~batch:7)
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("check_affine rejected an affine builder: " ^ m));
+  (* A builder that is NOT the same graph at the probe batch. *)
+  let other =
+    let b = Opgraph.B.create () in
+    let x = Opgraph.B.input b "x" [| 7; 4; 4 |] in
+    let y = Opgraph.B.add b Optype.Relu [ x ] in
+    Opgraph.B.set_outputs b [ y ];
+    Opgraph.B.finish b
+  in
+  Alcotest.(check bool) "wrong probe graph rejected" true
+    (match
+       Batch_sym.check_affine ~b1:1 (g ~batch:1) ~b2:2 (g ~batch:2) ~probe:7 other
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
 let () =
   Alcotest.run "ir"
     [
@@ -267,6 +332,10 @@ let () =
         [ Alcotest.test_case "primitives" `Quick test_shape_infer_prims;
           Alcotest.test_case "errors" `Quick test_shape_infer_errors;
           Alcotest.test_case "operators" `Quick test_op_shape_infer ] );
+      ( "batch_sym",
+        [ Alcotest.test_case "fit_dim" `Quick test_batch_sym_fit_dim;
+          Alcotest.test_case "fit + specialize roundtrip" `Quick test_batch_sym_specialize;
+          Alcotest.test_case "check_affine" `Quick test_batch_sym_check_affine ] );
       ( "builders",
         [ Alcotest.test_case "shape_of" `Quick test_builder_shape_of;
           Alcotest.test_case "categories" `Quick test_graph_category_count;

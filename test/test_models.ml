@@ -12,16 +12,44 @@ let has p g = count p g > 0
 (* ---------------- registry ---------------- *)
 
 let test_registry_complete () =
-  Alcotest.(check int) "five workloads (§6.1)" 5 (List.length Models.Registry.all);
+  Alcotest.(check int) "five paper workloads (§6.1) + decode" 6
+    (List.length Models.Registry.all);
   List.iter
     (fun name ->
       Alcotest.(check bool) name true (Models.Registry.find name <> None))
-    [ "candy"; "yolov4"; "yolox"; "segformer"; "efficientvit" ];
+    [ "candy"; "yolov4"; "yolox"; "segformer"; "efficientvit"; "decode" ];
   Alcotest.(check bool) "unknown rejected" true (Models.Registry.find "resnet" = None)
 
+(* Regression: builders silently accepted batch <= 0; the registry
+   boundary must reject it for every model, naming the model. *)
+let test_batch_validation () =
+  List.iter
+    (fun (e : Models.Registry.entry) ->
+      let expect_reject (build : ?batch:int -> unit -> Opgraph.t) batch =
+        match build ~batch () with
+        | (_ : Opgraph.t) ->
+          Alcotest.fail (Printf.sprintf "%s accepted batch %d" e.Models.Registry.name batch)
+        | exception Invalid_argument m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s error names the model" e.Models.Registry.name)
+            true
+            (let sub = Printf.sprintf "%S" e.Models.Registry.name in
+             let rec contains i =
+               i + String.length sub <= String.length m
+               && (String.sub m i (String.length sub) = sub || contains (i + 1))
+             in
+             contains 0)
+      in
+      expect_reject e.Models.Registry.build 0;
+      expect_reject e.Models.Registry.build (-3);
+      expect_reject e.Models.Registry.build_small 0)
+    Models.Registry.all
+
 let test_paper_scale_graphs_valid () =
-  (* Building at evaluation scale must produce valid graphs with a single
-     image input of the paper's resolution. *)
+  (* Building at evaluation scale must produce valid graphs. The vision
+     workloads take a single image input of the paper's resolution;
+     decode takes the four serving inputs and its "resolution" is the
+     attention context length (cache + the new token). *)
   List.iter
     (fun e ->
       let g = e.Models.Registry.build () in
@@ -31,16 +59,29 @@ let test_paper_scale_graphs_valid () =
           (fun op -> match op with Optype.Input n -> Some n | _ -> None)
           (ops_of g)
       in
-      Alcotest.(check (list string)) (e.Models.Registry.name ^ " single input") [ "input" ]
-        inputs;
-      let input_node =
-        Array.to_list g.Graph.nodes
-        |> List.find (fun nd -> match nd.Graph.op with Optype.Input _ -> true | _ -> false)
-      in
-      Alcotest.(check int)
-        (e.Models.Registry.name ^ " resolution")
-        e.Models.Registry.paper_resolution
-        input_node.Graph.shape.(2))
+      if e.Models.Registry.name = "decode" then begin
+        Alcotest.(check (list string)) "decode serving inputs"
+          [ "hidden"; "past_k"; "past_v"; "len_mask" ]
+          inputs;
+        let mask =
+          Array.to_list g.Graph.nodes
+          |> List.find (fun nd -> nd.Graph.op = Optype.Input "len_mask")
+        in
+        Alcotest.(check int) "decode context length" e.Models.Registry.paper_resolution
+          mask.Graph.shape.(3)
+      end
+      else begin
+        Alcotest.(check (list string)) (e.Models.Registry.name ^ " single input")
+          [ "input" ] inputs;
+        let input_node =
+          Array.to_list g.Graph.nodes
+          |> List.find (fun nd -> match nd.Graph.op with Optype.Input _ -> true | _ -> false)
+        in
+        Alcotest.(check int)
+          (e.Models.Registry.name ^ " resolution")
+          e.Models.Registry.paper_resolution
+          input_node.Graph.shape.(2)
+      end)
     Models.Registry.all
 
 let test_batch_parameter () =
@@ -50,6 +91,86 @@ let test_batch_parameter () =
     |> List.find (fun nd -> match nd.Graph.op with Optype.Input _ -> true | _ -> false)
   in
   Alcotest.(check int) "batch dim" 4 input.Graph.shape.(0)
+
+(* ---------------- decode workload ---------------- *)
+
+let test_decode_structure () =
+  let g = Models.Registry.decode.Models.Registry.build_small ~batch:2 () in
+  Alcotest.(check bool) "KV-cache append (Concat)" true
+    (has (function Optype.Concat _ -> true | _ -> false) g);
+  Alcotest.(check bool) "GELU MLP" true (has (( = ) Optype.Gelu) g);
+  Alcotest.(check bool) "masked attention (Softmax)" true
+    (has (function Optype.Softmax _ -> true | _ -> false) g);
+  Alcotest.(check int) "hidden + appended K/V published" 3 (List.length g.Graph.outputs)
+
+(* The ragged-batch mask convention: a cache position whose len_mask
+   entry is the large-negative sentinel must not influence the hidden
+   output — its K/V values can be arbitrary garbage. The appended-cache
+   outputs DO carry the garbage through; only attention is masked. *)
+let test_decode_mask_property () =
+  let batch = 2 and heads = 2 and head_dim = 4 and past_len = 3 in
+  let d = heads * head_dim in
+  let g = Models.Decode.build ~batch ~heads ~head_dim ~past_len ~mlp_ratio:2 () in
+  let rng = Tensor.Rng.create 42 in
+  let hidden = Tensor.Nd.randn rng [| batch; 1; d |] in
+  let past_k = Tensor.Nd.randn rng [| batch; heads; past_len; head_dim |] in
+  let past_v = Tensor.Nd.randn rng [| batch; heads; past_len; head_dim |] in
+  (* Disable cache position 1 for every sequence. *)
+  let len_mask =
+    Tensor.Nd.create [| batch; 1; 1; past_len + 1 |] (fun k ->
+        if k mod (past_len + 1) = 1 then -1e9 else 0.0)
+  in
+  let run ~k ~v =
+    Runtime.Interp.run g
+      ~inputs:[ ("hidden", hidden); ("past_k", k); ("past_v", v); ("len_mask", len_mask) ]
+  in
+  let scramble t =
+    let t' = Tensor.Nd.copy t in
+    for b = 0 to batch - 1 do
+      for h = 0 to heads - 1 do
+        for j = 0 to head_dim - 1 do
+          Tensor.Nd.set t' [| b; h; 1; j |] (1e6 +. float_of_int ((b * 100) + (h * 10) + j))
+        done
+      done
+    done;
+    t'
+  in
+  match (run ~k:past_k ~v:past_v, run ~k:(scramble past_k) ~v:(scramble past_v)) with
+  | [ out1; k1; _v1 ], [ out2; k2; _v2 ] ->
+    Alcotest.(check bool) "masked position cannot affect the hidden output" true
+      (Tensor.Nd.equal out1 out2);
+    Alcotest.(check bool) "appended cache does carry the scrambled values" false
+      (Tensor.Nd.equal k1 k2)
+  | _ -> Alcotest.fail "decode must publish exactly three outputs"
+
+let test_decode_interp_runs () =
+  let g = Models.Registry.decode.Models.Registry.build_small ~batch:3 () in
+  let heads = 2 and head_dim = 8 and past_len = 7 in
+  let d = heads * head_dim in
+  let rng = Tensor.Rng.create 7 in
+  let inputs =
+    [
+      ("hidden", Tensor.Nd.randn rng [| 3; 1; d |]);
+      ("past_k", Tensor.Nd.randn rng [| 3; heads; past_len; head_dim |]);
+      ("past_v", Tensor.Nd.randn rng [| 3; heads; past_len; head_dim |]);
+      ("len_mask", Tensor.Nd.zeros [| 3; 1; 1; past_len + 1 |]);
+    ]
+  in
+  match Runtime.Interp.run g ~inputs with
+  | [ out; new_k; new_v ] ->
+    Alcotest.(check bool) "hidden shape preserved" true
+      (Tensor.Shape.equal (Tensor.Nd.shape out) [| 3; 1; d |]);
+    Alcotest.(check bool) "cache grew by one position" true
+      (Tensor.Shape.equal (Tensor.Nd.shape new_k) [| 3; heads; past_len + 1; head_dim |]
+      && Tensor.Shape.equal (Tensor.Nd.shape new_v) [| 3; heads; past_len + 1; head_dim |]);
+    List.iter
+      (fun t ->
+        Array.iter
+          (fun v ->
+            if not (Float.is_finite v) then Alcotest.fail "non-finite decode output")
+          t.Tensor.Nd.data)
+      [ out; new_k; new_v ]
+  | _ -> Alcotest.fail "decode must publish exactly three outputs"
 
 let test_determinism () =
   let a = Onnx.Serialize.opgraph_to_string (Models.Registry.candy.Models.Registry.build ()) in
@@ -162,7 +283,12 @@ let () =
         [ Alcotest.test_case "complete" `Quick test_registry_complete;
           Alcotest.test_case "paper scale valid" `Quick test_paper_scale_graphs_valid;
           Alcotest.test_case "batch parameter" `Quick test_batch_parameter;
+          Alcotest.test_case "batch <= 0 rejected zoo-wide" `Quick test_batch_validation;
           Alcotest.test_case "deterministic" `Quick test_determinism ] );
+      ( "decode",
+        [ Alcotest.test_case "structure" `Quick test_decode_structure;
+          Alcotest.test_case "mask hides cache positions" `Quick test_decode_mask_property;
+          Alcotest.test_case "interpreter run" `Quick test_decode_interp_runs ] );
       ( "architectures",
         [ Alcotest.test_case "candy" `Quick test_candy_structure;
           Alcotest.test_case "yolov4" `Quick test_yolov4_structure;

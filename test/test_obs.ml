@@ -101,6 +101,35 @@ let test_gauge_and_histogram () =
   Alcotest.(check int) "total" 4 hs.Obs.Metrics.total;
   Alcotest.(check (float 1e-9)) "sum" 555.5 hs.Obs.Metrics.sum
 
+(* Regression: the percentile walk at exact cumulative boundaries. The
+   float product q * total can land an epsilon above an integer
+   (0.1 * 30 = 3.0000000000000004), and the old float-cumulative walk
+   then skipped the occupied bucket ending exactly at that boundary —
+   and any empty run after it — landing one bucket too high. *)
+let test_percentile_boundaries () =
+  let snap bounds counts =
+    { Obs.Metrics.bounds; counts; sum = 0.0; total = Array.fold_left ( + ) 0 counts }
+  in
+  let h = snap [| 10.0; 20.0; 30.0 |] [| 3; 0; 27; 0 |] in
+  Alcotest.(check (float 1e-9)) "exact boundary stays in its bucket" 10.0
+    (Obs.Metrics.percentile h 0.1);
+  Alcotest.(check (float 1e-9)) "q=0 reads the first observation" 0.0
+    (Obs.Metrics.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 reads the last observation" 30.0
+    (Obs.Metrics.percentile h 1.0);
+  (* rank = total with all mass in one interior bucket: the walk must
+     stop there, not fall through to the overflow bucket. *)
+  let h2 = snap [| 10.0; 20.0; 30.0 |] [| 0; 4; 0; 0 |] in
+  Alcotest.(check (float 1e-9)) "rank=total lands in the occupied bucket" 20.0
+    (Obs.Metrics.percentile h2 1.0);
+  Alcotest.(check (float 1e-9)) "median interpolates inside the bucket" 15.0
+    (Obs.Metrics.percentile h2 0.5);
+  (* A single observation answers every quantile from its own bucket. *)
+  let h3 = snap [| 5.0; 50.0 |] [| 0; 1; 0 |] in
+  Alcotest.(check (float 1e-9)) "single obs, q=0" 5.0 (Obs.Metrics.percentile h3 0.0);
+  Alcotest.(check (float 1e-9)) "single obs, q=0.5" 27.5 (Obs.Metrics.percentile h3 0.5);
+  Alcotest.(check (float 1e-9)) "single obs, q=1" 50.0 (Obs.Metrics.percentile h3 1.0)
+
 let test_metrics_json_parses () =
   ignore (Obs.Metrics.counter "test.json.presence");
   let doc = Obs.Jsonw.to_string (Obs.Metrics.to_json ()) in
@@ -277,6 +306,8 @@ let () =
           Alcotest.test_case "counter basics" `Quick test_counter_basics;
           Alcotest.test_case "concurrent increments exact" `Quick test_counter_concurrent_exact;
           Alcotest.test_case "gauge + histogram" `Quick test_gauge_and_histogram;
+          Alcotest.test_case "percentile boundary regressions" `Quick
+            test_percentile_boundaries;
           Alcotest.test_case "snapshot JSON parses" `Quick test_metrics_json_parses;
         ] );
       ( "trace",

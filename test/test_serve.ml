@@ -89,6 +89,70 @@ let test_cache_corrupt_recovery () =
     ~report:(report_string r);
   Alcotest.(check bool) "healed" true (Serve.Plan_cache.lookup cache key <> None)
 
+(* A well-formed entry carrying a FOREIGN schema version (e.g. written
+   by an older daemon sharing the cache directory) must degrade to a
+   miss without being deleted — only garbage is deleted. *)
+let test_cache_version_miss () =
+  let g, r = Lazy.force workload in
+  let cache = Serve.Plan_cache.create ~dir:(fresh_dir "version") () in
+  let key = Serve.Plan_cache.key ~graph:g ~gpu:"V100" ~precision:"fp32" ~batch:1 in
+  let path = Serve.Plan_cache.entry_path cache key in
+  let oc = open_out_bin path in
+  output_string oc {|{"schema":"korch-plan-cache/1","status":"final"}|};
+  close_out oc;
+  Alcotest.(check bool) "foreign version reads as a miss" true
+    (Serve.Plan_cache.lookup cache key = None);
+  Alcotest.(check bool) "foreign entry NOT deleted" true (Sys.file_exists path);
+  let s = Serve.Plan_cache.stats cache in
+  Alcotest.(check int) "version miss counted" 1 s.Serve.Plan_cache.version_misses;
+  Alcotest.(check int) "not counted as corruption" 0 s.Serve.Plan_cache.corrupt;
+  (* A current-version store overwrites the foreign file and serves. *)
+  Serve.Plan_cache.store cache key ~status:Serve.Plan_cache.Final
+    ~graph:r.Korch.Orchestrator.graph ~plan:r.Korch.Orchestrator.plan
+    ~report:(report_string r);
+  Alcotest.(check bool) "overwritten entry serves" true
+    (Serve.Plan_cache.lookup cache key <> None)
+
+(* Batch-range table entries: store/lookup round-trip, corrupt recovery. *)
+let decode_small_build ~batch =
+  Fission.Canonicalize.fold_batch_norms
+    (Models.Registry.decode.Models.Registry.build_small ~batch ())
+
+let small_table =
+  lazy
+    (Korch.Plan_table.build Korch.Orchestrator.default_config ~model:"decode"
+       ~build:decode_small_build ~lo:1 ~hi:2)
+
+let test_cache_table_roundtrip () =
+  let tab = Lazy.force small_table in
+  let cache = Serve.Plan_cache.create ~dir:(fresh_dir "table") () in
+  let key =
+    Serve.Plan_cache.table_key ~graph:(decode_small_build ~batch:1) ~gpu:"V100"
+      ~precision:"fp32" ~lo:1 ~hi:2
+  in
+  Alcotest.(check bool) "cold table lookup misses" true
+    (Serve.Plan_cache.lookup_table cache key = None);
+  Serve.Plan_cache.store_table cache key tab;
+  (match Serve.Plan_cache.lookup_table cache key with
+  | None -> Alcotest.fail "table lookup missed after store"
+  | Some tab' ->
+    Alcotest.(check string) "table round-trips bit-identically"
+      (Korch.Report.plan_table_json_string tab)
+      (Korch.Report.plan_table_json_string tab'));
+  (* A torn table file is deleted and served as a miss. *)
+  let path = Serve.Plan_cache.table_path cache key in
+  let oc = open_out_bin path in
+  output_string oc {|{"schema":"korch-plan-cache/2","kind":"table","trunc|};
+  close_out oc;
+  Alcotest.(check bool) "corrupt table reads as a miss" true
+    (Serve.Plan_cache.lookup_table cache key = None);
+  Alcotest.(check bool) "corrupt table deleted" false (Sys.file_exists path);
+  (* A fixed-batch (kind = "plan") reader must never serve a table file:
+     the bumped schema + kind tag keep the namespaces disjoint. *)
+  Serve.Plan_cache.store_table cache key tab;
+  Alcotest.(check bool) "table file exists again" true
+    (Sys.file_exists (Serve.Plan_cache.table_path cache key))
+
 let test_cache_final_never_downgraded () =
   let g, r = Lazy.force workload in
   let cache = Serve.Plan_cache.create ~dir:(fresh_dir "downgrade") () in
@@ -195,6 +259,8 @@ let test_request_roundtrip () =
       deadline_ms = Some 7.5;
       backend = Some "native";
       no_cache = true;
+      batch_lo = Some 1;
+      batch_hi = Some 16;
     }
   in
   match Serve.Protocol.request_of_json (jsonw_to_json (Serve.Protocol.request_to_json r)) with
@@ -285,11 +351,12 @@ let make_server name =
       jobs = 1;
     }
 
-let request ?model ?deadline_ms ?(small = true) ?(no_cache = false) verb =
+let request ?model ?deadline_ms ?(small = true) ?(no_cache = false) ?batch_lo ?batch_hi
+    verb =
   jsonw_to_json
     (Serve.Protocol.request_to_json
        { Serve.Protocol.default_request with Serve.Protocol.verb; model; small; deadline_ms;
-         no_cache })
+         no_cache; batch_lo; batch_hi })
 
 let test_handle_ladder () =
   let t = make_server "handler" in
@@ -303,6 +370,38 @@ let test_handle_ladder () =
   let ran = handle_server t (request ~model:"candy" "run") in
   Alcotest.(check (option string)) "run succeeds" (Some "ok") (member_str "status" ran);
   Alcotest.(check bool) "run returns outputs" true (Onnx.Json.member "outputs" ran <> None)
+
+let test_handle_table () =
+  let t = make_server "table-verb" in
+  let cold = handle_server t (request ~model:"decode" ~batch_hi:2 "table") in
+  Alcotest.(check (option string)) "cold table is ok" (Some "ok") (member_str "status" cold);
+  Alcotest.(check (option string)) "cold table is a miss" (Some "miss")
+    (member_str "cache" cold);
+  (match Onnx.Json.member "ranges" cold with
+  | Some (Onnx.Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "table response carries at least one range");
+  Alcotest.(check bool) "crossovers present" true
+    (Onnx.Json.member "crossovers" cold <> None);
+  let warm = handle_server t (request ~model:"decode" ~batch_hi:2 "table") in
+  Alcotest.(check (option string)) "warm table is a hit" (Some "hit")
+    (member_str "cache" warm);
+  Alcotest.(check bool) "cold and warm summaries identical" true
+    (Option.map Onnx.Json.to_string (Onnx.Json.member "ranges" cold)
+    = Option.map Onnx.Json.to_string (Onnx.Json.member "ranges" warm))
+
+let test_handle_table_client_errors () =
+  let t = make_server "table-errors" in
+  (* Tables need a named zoo model — inline graphs cannot be rebuilt at
+     every probe batch. *)
+  let no_model = handle_server t (request ~batch_hi:2 "table") in
+  Alcotest.(check (option string)) "missing model is an error" (Some "error")
+    (member_str "status" no_model);
+  let no_hi = handle_server t (request ~model:"decode" "table") in
+  Alcotest.(check (option string)) "missing batch_hi is an error" (Some "error")
+    (member_str "status" no_hi);
+  let bad_range = handle_server t (request ~model:"decode" ~batch_lo:4 ~batch_hi:2 "table") in
+  Alcotest.(check (option string)) "inverted range is an error" (Some "error")
+    (member_str "status" bad_range)
 
 let test_handle_client_errors () =
   let t = make_server "errors" in
@@ -460,6 +559,10 @@ let () =
           Alcotest.test_case "store/lookup roundtrip" `Quick test_cache_roundtrip;
           Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
           Alcotest.test_case "corrupt entry recovery" `Quick test_cache_corrupt_recovery;
+          Alcotest.test_case "foreign schema version is a kept miss" `Quick
+            test_cache_version_miss;
+          Alcotest.test_case "plan-table store/lookup roundtrip" `Quick
+            test_cache_table_roundtrip;
           Alcotest.test_case "final never downgraded" `Quick test_cache_final_never_downgraded;
           Alcotest.test_case "cache_io fault seam" `Quick test_cache_io_fault_seam;
         ] );
@@ -479,6 +582,8 @@ let () =
       ( "handler",
         [
           Alcotest.test_case "serving ladder" `Quick test_handle_ladder;
+          Alcotest.test_case "table verb" `Quick test_handle_table;
+          Alcotest.test_case "table client errors" `Quick test_handle_table_client_errors;
           Alcotest.test_case "client errors" `Quick test_handle_client_errors;
           Alcotest.test_case "deadline under faults" `Quick test_handle_deadline_under_faults;
           Alcotest.test_case "stats shape" `Quick test_stats_shape;
